@@ -1,0 +1,61 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one table/figure of the paper at a reduced
+corpus scale, times the full experiment driver with pytest-benchmark, and
+writes the rendered result table to ``benchmarks/results/<name>.txt`` so
+the reproduction output can be inspected side by side with the paper.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_REPO_ROOT = Path(__file__).parent.parent
+_SRC = _REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments import ExperimentConfig  # noqa: E402
+from repro.experiments.reporting import ExperimentResult  # noqa: E402
+
+#: Directory collecting the rendered result tables.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """Reduced-scale configuration shared by all benchmarks.
+
+    One run per cell and ~60% of the default replica sizes keep the whole
+    suite in the minutes range while preserving the qualitative shapes.
+    """
+    return ExperimentConfig(
+        seed=7,
+        runs=1,
+        scale_factor=0.6,
+        em_iterations=2,
+        gibbs_samples=10,
+        candidate_limit=12,
+    )
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write an experiment result table to the results directory."""
+
+    def _record(result: ExperimentResult) -> None:
+        path = results_dir / f"{result.name}.txt"
+        path.write_text(result.format_table() + "\n", encoding="utf-8")
+        print()
+        print(result.format_table())
+
+    return _record

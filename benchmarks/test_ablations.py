@@ -1,0 +1,59 @@
+"""Ablation benchmarks for the design choices documented in DESIGN.md."""
+
+import numpy as np
+
+from repro.experiments import ablations
+
+
+def test_ablation_coupling(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        ablations.coupling_ablation,
+        args=(bench_config,),
+        kwargs={"dataset": "snopes"},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    rows = {row[1]: row[3] for row in result.rows}
+    # Shape: coupling should not hurt precision at equal effort.
+    assert rows["on"] >= rows["off"] - 0.1
+
+
+def test_ablation_aggregation(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        ablations.aggregation_ablation,
+        args=(bench_config,),
+        kwargs={"dataset": "snopes"},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert set(result.column("aggregation")) == {"sum", "mean", "sqrt"}
+
+
+def test_ablation_warm_start(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        ablations.warm_start_ablation,
+        args=(bench_config,),
+        kwargs={"dataset": "wiki", "iterations": 6},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    rows = {row[1]: row[3] for row in result.rows}
+    # Shape: warm chains churn the marginals no more than cold restarts.
+    assert rows["warm"] <= rows["cold"] + 0.05
+
+
+def test_ablation_batch_selection(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        ablations.batch_selection_ablation,
+        args=(bench_config,),
+        kwargs={"dataset": "wiki", "k": 3, "candidate_limit": 9},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    rows = {row[1]: row[2] for row in result.rows}
+    if rows["exhaustive"] > 0:
+        assert rows["greedy"] >= (1 - 1 / np.e) * rows["exhaustive"] - 1e-9

@@ -1,0 +1,19 @@
+"""Benchmark E10 — Fig. 10: effects of a static batch size (§8.7)."""
+
+from repro.experiments import fig10_static_batch
+
+
+def test_fig10_static_batch(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        fig10_static_batch.run,
+        args=(bench_config,),
+        kwargs={"batch_sizes": (1, 5, 10), "effort_fraction": 0.3},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    # Shape: cost saving grows with k for every alpha.
+    for dataset in bench_config.datasets:
+        rows = [r for r in result.rows if r[0] == dataset]
+        savings = [r[4] for r in rows]
+        assert savings == sorted(savings)

@@ -1,0 +1,15 @@
+"""Benchmark E11 — Fig. 11: effects of a dynamic batch size (§8.7)."""
+
+from repro.experiments import fig11_dynamic_batch
+
+
+def test_fig11_dynamic_batch(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        fig11_dynamic_batch.run,
+        args=(bench_config,),
+        kwargs={"batch_sizes": (1, 5), "thresholds": (0.8,)},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert "dynamic" in result.column("k")

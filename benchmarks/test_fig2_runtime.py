@@ -1,0 +1,21 @@
+"""Benchmark E1 — Fig. 2: response time per iteration and variant (§8.2)."""
+
+from repro.experiments import fig2_runtime
+
+
+def test_fig2_runtime(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        fig2_runtime.run,
+        args=(bench_config,),
+        kwargs={"iterations": 4},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    # Shape: the optimised variant must not be slower than origin on the
+    # largest dataset.
+    rows = {
+        (row[0], row[1]): row[2]
+        for row in result.rows
+    }
+    assert rows[("snopes", "parallel+partition")] <= rows[("snopes", "origin")] * 1.5

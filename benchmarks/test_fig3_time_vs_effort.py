@@ -1,0 +1,15 @@
+"""Benchmark E2 — Fig. 3: response time vs. label effort (§8.2)."""
+
+from repro.experiments import fig3_time_vs_effort
+
+
+def test_fig3_time_vs_effort(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        fig3_time_vs_effort.run,
+        args=(bench_config,),
+        kwargs={"dataset": "snopes"},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert sum(result.column("samples")) > 0

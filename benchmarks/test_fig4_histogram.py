@@ -1,0 +1,17 @@
+"""Benchmark E3 — Fig. 4: probabilities of correct assignments (§8.3)."""
+
+from repro.experiments import fig4_probability_histogram
+
+
+def test_fig4_histogram(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        fig4_probability_histogram.run,
+        args=(bench_config,),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    # Shape: mass in the top bins grows with effort.
+    top_mass_0 = sum(row[1] for row in result.rows[-3:])
+    top_mass_40 = sum(row[-1] for row in result.rows[-3:])
+    assert top_mass_40 >= top_mass_0

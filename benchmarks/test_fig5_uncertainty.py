@@ -1,0 +1,16 @@
+"""Benchmark E4 — Fig. 5: uncertainty vs. precision correlation (§8.4)."""
+
+from repro.experiments import fig5_uncertainty_precision
+
+
+def test_fig5_uncertainty(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        fig5_uncertainty_precision.run,
+        args=(bench_config,),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    rows = dict(zip(result.column("statistic"), result.column("value")))
+    # Shape: strongly negative correlation (paper: -0.85).
+    assert rows["pearson"] < -0.3

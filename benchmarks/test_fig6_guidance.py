@@ -1,0 +1,21 @@
+"""Benchmark E5 — Fig. 6: effectiveness of guidance strategies (§8.4)."""
+
+import numpy as np
+
+from repro.experiments import fig6_guidance
+
+
+def test_fig6_guidance(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        fig6_guidance.run,
+        args=(bench_config,),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    # Shape: averaged over datasets, hybrid needs no more effort than
+    # random to reach the precision target.
+    efforts = {}
+    for row in result.rows:
+        efforts.setdefault(row[1], []).append(row[-1])
+    assert np.mean(efforts["hybrid"]) <= np.mean(efforts["random"]) + 0.05

@@ -1,0 +1,15 @@
+"""Benchmark E7 — Fig. 7: guidance with erroneous user input (§8.5)."""
+
+from repro.experiments import fig7_erroneous_input
+
+
+def test_fig7_erroneous(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        fig7_erroneous_input.run,
+        args=(bench_config,),
+        kwargs={"strategies": ("random", "hybrid")},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert len(result.rows) == 2 * len(bench_config.datasets)

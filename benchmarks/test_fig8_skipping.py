@@ -1,0 +1,15 @@
+"""Benchmark E8 — Fig. 8: effects of missing user input (§8.5)."""
+
+from repro.experiments import fig8_skipping
+
+
+def test_fig8_skipping(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        fig8_skipping.run,
+        args=(bench_config,),
+        kwargs={"skip_probabilities": (0.1, 0.5)},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert len(result.rows) == 2 * len(bench_config.datasets)

@@ -1,0 +1,17 @@
+"""Benchmark E9 — Fig. 9: early-termination indicators (§8.6)."""
+
+from repro.experiments import fig9_early_termination
+
+
+def test_fig9_termination(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        fig9_early_termination.run,
+        args=(bench_config,),
+        kwargs={"dataset": "snopes"},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    # Shape: precision improvement saturates towards the end of the run.
+    improvements = result.column("prec_improv_%")
+    assert improvements[-1] >= improvements[0]

@@ -1,0 +1,15 @@
+"""Benchmark E12 — §8.8: streaming model update time per arrival."""
+
+from repro.experiments import stream_update_time
+
+
+def test_stream_update_time(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        stream_update_time.run,
+        args=(bench_config,),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    for avg in result.column("avg_seconds"):
+        assert avg >= 0.0

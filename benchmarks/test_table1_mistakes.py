@@ -1,0 +1,19 @@
+"""Benchmark E6 — Table 1: detection of erroneous user input (§8.5)."""
+
+from repro.experiments import table1_mistake_detection
+
+
+def test_table1_mistakes(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        table1_mistake_detection.run,
+        args=(bench_config,),
+        kwargs={"probabilities": (0.15, 0.30)},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    # Shape: averaged over datasets, a substantial share of injected
+    # mistakes is detected (per-dataset counts are tiny at bench scale,
+    # so rates are heavily quantised).
+    rates = [row[1] for row in result.rows]
+    assert sum(rates) / len(rates) >= 40.0

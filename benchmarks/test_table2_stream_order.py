@@ -1,0 +1,17 @@
+"""Benchmark E13 — Table 2: validation-sequence preservation (§8.8)."""
+
+from repro.experiments import table2_stream_order
+
+
+def test_table2_stream_order(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        table2_stream_order.run,
+        args=(bench_config,),
+        kwargs={"periods": (0.1, 0.3)},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    for row in result.rows:
+        for tau in row[1:]:
+            assert -1.0 <= tau <= 1.0

@@ -1,0 +1,19 @@
+"""Benchmark E14 — Table 3: experts vs. crowd workers (§8.9)."""
+
+from repro.experiments import table3_deployment
+
+
+def test_table3_deployment(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        table3_deployment.run,
+        args=(bench_config,),
+        kwargs={"num_claims": 30},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    # Shape: experts slower and at least as accurate as the crowd.
+    for row in result.rows:
+        _, expert_time, crowd_time, expert_acc, crowd_acc = row
+        assert expert_time > crowd_time
+        assert expert_acc >= crowd_acc - 0.15

@@ -1,0 +1,13 @@
+"""Ensure the in-tree package is importable when running pytest directly.
+
+The package is normally installed with ``pip install -e .`` (or
+``python setup.py develop`` on environments whose setuptools predates
+PEP 660); this shim makes ``pytest`` work from a clean checkout too.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

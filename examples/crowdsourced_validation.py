@@ -1,0 +1,114 @@
+"""Crowdsourced validation: plugging crowd consensus into the loop.
+
+Demonstrates the §8.9 deployment scenario end to end:
+
+1. A simulated crowd answers redundant validation tasks; per-worker
+   reliability is estimated with Dawid–Skene EM and compared to simple
+   majority voting.
+2. The crowd *consensus* then acts as the (imperfect) user of the
+   validation process, with the confirmation check of §5.2 repairing the
+   mistakes the consensus makes — showing how the framework composes
+   with a crowdsourcing frontend instead of a single expert.
+
+Run with::
+
+    python examples/crowdsourced_validation.py
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.crowd import (
+    CROWD_PROFILES,
+    DawidSkeneBinary,
+    SimulatedValidator,
+    majority_vote,
+    run_deployment,
+)
+from repro.data.entities import Claim
+from repro.datasets import load_dataset
+from repro.guidance import make_strategy
+from repro.validation import TruePrecisionGoal, User, ValidationProcess
+from repro.validation.robustness import ConfirmationChecker
+
+
+class CrowdConsensusUser(User):
+    """A 'user' whose answers are Dawid–Skene consensus of crowd votes."""
+
+    def __init__(self, num_workers: int = 9, redundancy: int = 5,
+                 seed: int = 0) -> None:
+        profile = CROWD_PROFILES["snopes"]
+        self._workers = [
+            SimulatedValidator(profile, f"w{i}", seed=seed * 100 + i)
+            for i in range(num_workers)
+        ]
+        self._redundancy = redundancy
+        self._aggregator = DawidSkeneBinary()
+        self.answers_collected = 0
+
+    def validate(self, claim: Claim) -> Optional[int]:
+        votes = {
+            worker.worker_id: worker.answer(claim)
+            for worker in self._workers[: self._redundancy]
+        }
+        self.answers_collected += len(votes)
+        result = self._aggregator.aggregate({claim.claim_id: votes})
+        return result.consensus[claim.claim_id]
+
+
+def main() -> None:
+    database = load_dataset("snopes", seed=9, scale=0.01)
+
+    print("=== 1. expert panel vs. crowd (Table 3 protocol) ===")
+    outcomes = run_deployment(database, "snopes", num_claims=30, seed=9)
+    for population, outcome in outcomes.items():
+        print(
+            f"  {population:>6}: accuracy={outcome.accuracy:.2f} "
+            f"avg time={outcome.mean_seconds:.0f}s "
+            f"({outcome.total_answers} answers)"
+        )
+
+    print("\n=== 2. majority vote vs. Dawid-Skene on adversarial crowds ===")
+    profile = CROWD_PROFILES["snopes"]
+    workers = [SimulatedValidator(profile, f"w{i}", seed=i) for i in range(9)]
+    claims = [database.claims[i] for i in range(min(25, database.num_claims))]
+    answers = {
+        claim.claim_id: {w.worker_id: w.answer(claim) for w in workers}
+        for claim in claims
+    }
+    truth = {c.claim_id: int(bool(c.truth)) for c in claims}
+    mv = majority_vote(answers)
+    ds = DawidSkeneBinary().aggregate(answers)
+    mv_acc = sum(mv[c] == truth[c] for c in truth) / len(truth)
+    ds_acc = sum(ds.consensus[c] == truth[c] for c in truth) / len(truth)
+    print(f"  majority vote accuracy: {mv_acc:.2f}")
+    print(f"  Dawid-Skene accuracy:   {ds_acc:.2f}")
+    least_reliable = min(ds.worker_accuracy, key=ds.worker_accuracy.get)
+    print(
+        f"  least reliable worker: {least_reliable} "
+        f"(estimated accuracy {ds.worker_accuracy[least_reliable]:.2f})"
+    )
+
+    print("\n=== 3. crowd consensus driving the validation process ===")
+    crowd_user = CrowdConsensusUser(seed=9)
+    process = ValidationProcess(
+        load_dataset("snopes", seed=9, scale=0.01),
+        strategy=make_strategy("hybrid"),
+        user=crowd_user,
+        goal=TruePrecisionGoal(0.9),
+        robustness=ConfirmationChecker(interval=5),
+        candidate_limit=15,
+        seed=9,
+    )
+    trace = process.run()
+    print(
+        f"  stop={trace.stop_reason} precision={process.current_precision():.2f} "
+        f"claims validated={process.database.num_labelled} "
+        f"crowd answers consumed={crowd_user.answers_collected} "
+        f"repairs={process.robustness_stats.repairs}"
+    )
+
+
+if __name__ == "__main__":
+    main()

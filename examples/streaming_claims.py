@@ -1,0 +1,103 @@
+"""Streaming fact checking: validating claims while they arrive.
+
+Replays a healthcare-forum replica as a claim stream (Alg. 2): the online
+model ingests arrivals with stochastic-approximation EM, and after every
+20% of the stream the validation process (Alg. 1) runs on the current
+snapshot — with model parameters exchanged between the two algorithms, as
+in §7 of the paper.  Finally the streaming validation order is compared
+to the offline order with Kendall's τ_b (Table 2).
+
+Run with::
+
+    python examples/streaming_claims.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import load_dataset
+from repro.guidance import make_strategy
+from repro.inference import ICrf
+from repro.metrics import sequence_rank_correlation
+from repro.streaming import StreamingFactChecker, stream_from_database
+from repro.validation import SimulatedUser, ValidationProcess
+
+VALIDATION_PERIOD = 0.2
+
+
+def offline_order(database, seed: int) -> list:
+    """Validation order of the classic offline process."""
+    process = ValidationProcess(
+        database,
+        strategy=make_strategy("hybrid"),
+        user=SimulatedUser(seed=seed),
+        candidate_limit=15,
+        seed=seed,
+    )
+    trace = process.run()
+    return [database.claim_id(i) for i in trace.validated_claims()]
+
+
+def main() -> None:
+    database = load_dataset("health", seed=5, scale=0.04)
+    print(f"corpus: {database!r}\n")
+
+    print("offline pass (all claims known upfront) ...")
+    offline = offline_order(load_dataset("health", seed=5, scale=0.04), seed=1)
+
+    print("streaming pass (claims arrive one by one) ...")
+    checker = StreamingFactChecker(seed=5)
+    arrivals = list(stream_from_database(database))
+    period = max(1, int(VALIDATION_PERIOD * len(arrivals)))
+    streaming_order: list = []
+    update_times = []
+    pending = 0
+    for arrival in arrivals:
+        update = checker.observe(arrival)
+        update_times.append(update.elapsed_seconds)
+        pending += 1
+        if pending < period:
+            continue
+        pending = 0
+        snapshot = checker.database
+        icrf = ICrf(snapshot, seed=2)
+        weights = checker.weights
+        if weights is not None:
+            icrf.set_weights(weights)          # Alg. 2, line 7
+        process = ValidationProcess(
+            snapshot,
+            strategy=make_strategy("hybrid"),
+            user=SimulatedUser(seed=3),
+            icrf=icrf,
+            candidate_limit=15,
+            seed=3,
+        )
+        process.initialize()
+        for _ in range(period):
+            if snapshot.unlabelled_indices.size == 0:
+                break
+            record = process.step()
+            for claim_index, value in zip(
+                record.claim_indices, record.user_values
+            ):
+                claim_id = snapshot.claim_id(claim_index)
+                checker.record_label(claim_id, value)
+                streaming_order.append(claim_id)
+        checker.receive_weights(icrf.weights)  # Alg. 2, line 10
+        print(
+            f"  after {update.arrival_index:>3} arrivals: validated "
+            f"{len(streaming_order):>3} claims, avg update "
+            f"{np.mean(update_times) * 1000:.0f}ms"
+        )
+
+    tau = sequence_rank_correlation(offline, streaming_order)
+    print(
+        f"\nvalidation-order similarity offline vs. streaming "
+        f"(period {VALIDATION_PERIOD:.0%}): Kendall tau_b = {tau:.3f}"
+    )
+    print("larger validation periods approach the offline order (Table 2)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Legacy setup shim: this environment's setuptools lacks PEP 660 support."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""repro — reproduction of "User Guidance for Efficient Fact Checking".
+
+A framework for guiding users in the validation of candidate facts
+extracted from Web sources (Nguyen Thanh Tam et al., PVLDB 2019).  The
+public API follows the paper's structure:
+
+* :mod:`repro.data` — the probabilistic fact database Q = <S, D, C, P>.
+* :mod:`repro.datasets` — synthetic replicas of the evaluation corpora.
+* :mod:`repro.crf` — the CRF substrate (potentials, Gibbs, entropy).
+* :mod:`repro.inference` — iCRF incremental EM and the TRON optimiser.
+* :mod:`repro.guidance` — claim-selection strategies (info/source/hybrid).
+* :mod:`repro.validation` — the interactive validation process (Alg. 1).
+* :mod:`repro.effort` — early termination and batch selection.
+* :mod:`repro.streaming` — streaming fact checking (Alg. 2).
+* :mod:`repro.crowd` — simulated expert/crowd validators and consensus.
+* :mod:`repro.experiments` — drivers for every table/figure of §8.
+
+Quickstart::
+
+    from repro.datasets import load_dataset
+    from repro.guidance import make_strategy
+    from repro.validation import SimulatedUser, TruePrecisionGoal, ValidationProcess
+
+    database = load_dataset("snopes", seed=7, scale=0.01)
+    process = ValidationProcess(
+        database,
+        strategy=make_strategy("hybrid"),
+        user=SimulatedUser(seed=7),
+        goal=TruePrecisionGoal(0.9),
+        seed=7,
+    )
+    trace = process.run()
+    print(trace.stop_reason, trace.total_effort(), process.current_precision())
+"""
+
+from repro.data import Claim, ClaimLink, Document, FactDatabase, Grounding, Source, Stance
+from repro.datasets import load_dataset
+from repro.errors import ReproError
+from repro.guidance import make_strategy
+from repro.inference import ICrf
+from repro.validation import (
+    SimulatedUser,
+    TruePrecisionGoal,
+    ValidationProcess,
+    ValidationTrace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Claim",
+    "ClaimLink",
+    "Document",
+    "FactDatabase",
+    "Grounding",
+    "ICrf",
+    "ReproError",
+    "SimulatedUser",
+    "Source",
+    "Stance",
+    "TruePrecisionGoal",
+    "ValidationProcess",
+    "ValidationTrace",
+    "__version__",
+    "load_dataset",
+    "make_strategy",
+]

@@ -1,0 +1,152 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the common workflows:
+
+* ``experiment`` — run one of the paper's experiment drivers and print
+  its table (``python -m repro experiment fig6 --runs 2``).
+* ``validate`` — run the interactive validation process on a synthetic
+  corpus replica and print the per-iteration trace
+  (``python -m repro validate --dataset snopes --strategy hybrid``).
+* ``generate`` — generate a corpus replica and write it to JSON
+  (``python -m repro generate --dataset wiki --out wiki.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.datasets import PROFILES, load_dataset, save_database
+from repro.experiments import EXPERIMENTS, ExperimentConfig
+from repro.guidance import STRATEGIES, make_strategy
+from repro.validation import SimulatedUser, TruePrecisionGoal, ValidationProcess
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'User Guidance for Efficient Fact "
+        "Checking' (PVLDB 2019)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    experiment = commands.add_parser(
+        "experiment", help="run one experiment driver and print its table"
+    )
+    experiment.add_argument(
+        "name", choices=sorted(EXPERIMENTS), help="paper artifact to regenerate"
+    )
+    experiment.add_argument("--seed", type=int, default=7)
+    experiment.add_argument("--runs", type=int, default=2)
+    experiment.add_argument(
+        "--scale-factor",
+        type=float,
+        default=1.0,
+        help="multiplier on the default corpus scales",
+    )
+    experiment.add_argument(
+        "--datasets",
+        nargs="+",
+        choices=sorted(PROFILES),
+        default=None,
+        help="restrict to these corpora",
+    )
+
+    validate = commands.add_parser(
+        "validate", help="run guided validation on a synthetic corpus"
+    )
+    validate.add_argument("--dataset", choices=sorted(PROFILES), default="snopes")
+    validate.add_argument(
+        "--strategy", choices=sorted(STRATEGIES), default="hybrid"
+    )
+    validate.add_argument("--seed", type=int, default=7)
+    validate.add_argument("--scale", type=float, default=0.01)
+    validate.add_argument(
+        "--goal", type=float, default=0.9, help="precision goal in (0, 1]"
+    )
+    validate.add_argument(
+        "--budget", type=int, default=None, help="maximum validations"
+    )
+    validate.add_argument(
+        "--quiet", action="store_true", help="print only the final summary"
+    )
+
+    generate = commands.add_parser(
+        "generate", help="generate a corpus replica and write JSON"
+    )
+    generate.add_argument("--dataset", choices=sorted(PROFILES), default="wiki")
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--scale", type=float, default=0.1)
+    generate.add_argument("--out", required=True, help="output JSON path")
+
+    return parser
+
+
+def run_experiment(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        seed=args.seed,
+        runs=args.runs,
+        scale_factor=args.scale_factor,
+        datasets=tuple(args.datasets) if args.datasets else ExperimentConfig().datasets,
+    )
+    result = EXPERIMENTS[args.name].run(config)
+    print(result.format_table())
+    return 0
+
+
+def run_validate(args: argparse.Namespace) -> int:
+    database = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    process = ValidationProcess(
+        database,
+        strategy=make_strategy(args.strategy),
+        user=SimulatedUser(seed=args.seed),
+        goal=TruePrecisionGoal(args.goal),
+        budget=args.budget,
+        candidate_limit=20,
+        seed=args.seed,
+    )
+    trace = process.initialize()
+    if not args.quiet:
+        print(f"corpus: {database!r}")
+        print(
+            f"initial precision {trace.initial_precision:.3f}, "
+            f"entropy {trace.initial_entropy:.2f}"
+        )
+    trace = process.run()
+    if not args.quiet:
+        for record in trace.records:
+            claim_id = database.claim_id(record.claim_indices[0])
+            print(
+                f"iter {record.iteration:>3}: {claim_id} <- "
+                f"{record.user_values[0]} precision={record.precision:.3f} "
+                f"dt={record.response_seconds * 1000:.0f}ms"
+            )
+    from repro.validation import format_summary, summarize_trace
+
+    print(format_summary(summarize_trace(trace)))
+    return 0
+
+
+def run_generate(args: argparse.Namespace) -> int:
+    database = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    save_database(database, args.out)
+    print(f"wrote {database!r} to {args.out}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "experiment": run_experiment,
+        "validate": run_validate,
+        "generate": run_generate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

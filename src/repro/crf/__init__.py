@@ -1,0 +1,51 @@
+"""CRF substrate (§3.1): potentials, energy model, sampling, entropy.
+
+This package provides the probabilistic machinery the rest of the framework
+builds on: clique featurisation (:class:`CliqueFeaturizer`), the tied-weight
+energy model (:class:`CrfModel`), Gibbs sampling with pinned user labels
+(:class:`GibbsSampler`), entropy estimators (§4.1) and the
+connected-component index used for localisation (§5.1).
+"""
+
+from repro.crf.entropy import (
+    MAX_EXACT_COMPONENT,
+    approximate_entropy,
+    binary_entropy,
+    component_entropy,
+    exact_entropy,
+    source_entropy,
+    source_trust_from_grounding,
+    unreliable_source_ratio,
+)
+from repro.crf.gibbs import GibbsResult, GibbsSampler
+from repro.crf.model import CrfModel
+from repro.crf.partition import ComponentIndex
+from repro.crf.potentials import (
+    AGGREGATION_MODES,
+    CliqueFeaturizer,
+    clique_feature_names,
+    log_sigmoid,
+    sigmoid,
+)
+from repro.crf.weights import CrfWeights
+
+__all__ = [
+    "AGGREGATION_MODES",
+    "MAX_EXACT_COMPONENT",
+    "CliqueFeaturizer",
+    "ComponentIndex",
+    "CrfModel",
+    "CrfWeights",
+    "GibbsResult",
+    "GibbsSampler",
+    "approximate_entropy",
+    "binary_entropy",
+    "clique_feature_names",
+    "component_entropy",
+    "exact_entropy",
+    "log_sigmoid",
+    "sigmoid",
+    "source_entropy",
+    "source_trust_from_grounding",
+    "unreliable_source_ratio",
+]

@@ -1,0 +1,163 @@
+"""Uncertainty measures over probabilistic fact databases (§4.1).
+
+Two estimators of the configuration entropy ``H_C(Q)`` are provided:
+
+* :func:`approximate_entropy` — the linear-time approximation of Eq. 13,
+  summing the Bernoulli entropies of the per-claim marginals.  This is the
+  "scalable" variant of Fig. 2 and the default everywhere.
+* :func:`exact_entropy` — exact computation by enumeration, done per CRF
+  connected component (entropy is additive over independent components).
+  The paper computes the partition function with Ising methods on its
+  acyclic graphs; our coupled graphs are not acyclic in general, so we
+  enumerate components up to a size cap and fall back to the approximation
+  for larger ones.
+
+Source-trustworthiness uncertainty ``H_S(Q)`` (Eq. 17–18) is estimated from
+a grounding: the trust of a source is the fraction of its claims that the
+grounding deems credible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.crf.model import CrfModel
+from repro.data.database import FactDatabase
+from repro.data.grounding import Grounding
+from repro.errors import InferenceError
+
+#: Components larger than this are never enumerated exactly.
+MAX_EXACT_COMPONENT = 18
+
+
+def binary_entropy(probabilities: np.ndarray) -> np.ndarray:
+    """Elementwise Bernoulli entropy in nats, with ``0 log 0 = 0``."""
+    p = np.clip(np.asarray(probabilities, dtype=float), 0.0, 1.0)
+    out = np.zeros_like(p)
+    interior = (p > 0.0) & (p < 1.0)
+    pi = p[interior]
+    out[interior] = -(pi * np.log(pi) + (1.0 - pi) * np.log1p(-pi))
+    return out
+
+
+def approximate_entropy(probabilities: np.ndarray) -> float:
+    """``H_C(Q)`` by the linear approximation of Eq. 13 (nats)."""
+    return float(binary_entropy(probabilities).sum())
+
+
+def exact_entropy(
+    model: CrfModel,
+    max_component: int = MAX_EXACT_COMPONENT,
+    probabilities: Optional[np.ndarray] = None,
+) -> float:
+    """``H_C(Q)`` with exact per-component enumeration (Eq. 11–12).
+
+    Claims in components of size ≤ ``max_component`` contribute their exact
+    joint entropy (labelled claims are clamped); larger components fall
+    back to the marginal approximation of Eq. 13.
+
+    Args:
+        model: The CRF model whose energy defines the distribution.
+        max_component: Enumeration size cap.
+        probabilities: Marginals used for the fallback; defaults to the
+            database's current ``P``.
+
+    Returns:
+        Entropy in nats.
+    """
+    if max_component < 1:
+        raise InferenceError(
+            f"max_component must be positive, got {max_component}"
+        )
+    max_component = min(max_component, MAX_EXACT_COMPONENT)
+    database = model.database
+    if probabilities is None:
+        probabilities = np.asarray(database.probabilities, dtype=float)
+    labelled = set(int(i) for i in database.labelled_indices)
+
+    total = 0.0
+    for component in database.connected_components():
+        free = np.asarray(
+            [int(c) for c in component if int(c) not in labelled], dtype=np.intp
+        )
+        if free.size == 0:
+            continue
+        if free.size > max_component:
+            total += approximate_entropy(probabilities[free])
+            continue
+        total += component_entropy(model, free)
+    return total
+
+
+def component_entropy(model: CrfModel, free_claims: np.ndarray) -> float:
+    """Exact joint entropy of the free claims of one component (nats).
+
+    Enumerates all ``2^k`` configurations of the free claims with every
+    other claim held at its maximum-marginal value, normalises the joint
+    potentials, and returns the Shannon entropy.
+    """
+    free_claims = np.asarray(free_claims, dtype=np.intp)
+    k = free_claims.size
+    if k == 0:
+        return 0.0
+    if k > MAX_EXACT_COMPONENT:
+        raise InferenceError(
+            f"component of {k} claims exceeds the enumeration cap "
+            f"{MAX_EXACT_COMPONENT}"
+        )
+    database = model.database
+    base = (np.asarray(database.probabilities) >= 0.5).astype(np.int8)
+    for claim_index, label in database.labels.items():
+        base[claim_index] = label
+
+    log_potentials = np.empty(2**k)
+    config = base.copy()
+    for mask in range(2**k):
+        for bit in range(k):
+            config[free_claims[bit]] = (mask >> bit) & 1
+        log_potentials[mask] = model.joint_log_potential(config)
+    log_z = _log_sum_exp(log_potentials)
+    log_probs = log_potentials - log_z
+    probs = np.exp(log_probs)
+    return float(-(probs * log_probs).sum())
+
+
+def _log_sum_exp(values: np.ndarray) -> float:
+    peak = values.max()
+    return float(peak + np.log(np.exp(values - peak).sum()))
+
+
+def source_trust_from_grounding(
+    database: FactDatabase, grounding: Grounding
+) -> np.ndarray:
+    """Source trustworthiness Pr(s) per Eq. 17.
+
+    Pr(s) is the fraction of the source's claims the grounding deems
+    credible.  Sources without claims get the neutral value 0.5.
+    """
+    trust = np.full(database.num_sources, 0.5)
+    values = grounding.values
+    for source_index in range(database.num_sources):
+        claims = database.claims_of_source(source_index)
+        if claims.size:
+            trust[source_index] = float(values[claims].mean())
+    return trust
+
+
+def source_entropy(trust: np.ndarray) -> float:
+    """``H_S(Q)`` — summed Bernoulli entropy of source trust (Eq. 18)."""
+    return float(binary_entropy(trust).sum())
+
+
+def unreliable_source_ratio(trust: np.ndarray) -> float:
+    """``r_i = |{s | Pr(s) < 0.5}| / |S|`` (§4.4).
+
+    Sources without claims carry the neutral trust 0.5 and therefore do
+    not count as unreliable.
+    """
+    trust = np.asarray(trust, dtype=float)
+    if trust.size == 0:
+        return 0.0
+    return float(np.count_nonzero(trust < 0.5) / trust.size)

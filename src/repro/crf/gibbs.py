@@ -1,0 +1,203 @@
+"""Gibbs sampling over claim configurations (§3.2, E-step).
+
+The E-step of iCRF estimates credibility probabilities as the fraction of
+Gibbs samples in which each claim is credible (Eq. 7) and keeps the most
+frequent sampled configuration for grounding instantiation (Eq. 10).
+
+Two properties requested by the paper are built in:
+
+* **Constraint handling** — user-labelled claims are pinned to their label
+  during sampling, and the opposing-variable non-equality constraint
+  (Eq. 3) is enforced structurally through stance signs (a refuting
+  document contributes inverted evidence), so no sampled configuration can
+  violate it.
+* **View maintenance / warm starts** — the sampler keeps its chain state
+  across invocations, so iteration ``z`` of the validation process resumes
+  from iteration ``z-1``'s state instead of re-mixing from scratch; this is
+  the "maintaining a set of Gibbs samples over time" of §3.2.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.crf.model import CrfModel
+from repro.crf.potentials import sigmoid
+from repro.errors import InferenceError
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass
+class GibbsResult:
+    """Outcome of one sampling pass.
+
+    Attributes:
+        marginals: Per-claim credibility estimates (Eq. 7); labelled claims
+            carry their label value.
+        mode_configuration: The most frequent sampled configuration — the
+            sample-based argmax of Eq. 10.
+        num_samples: Number of recorded samples.
+        configuration_counts: Multiplicity of each sampled configuration,
+            keyed by the packed byte representation.
+    """
+
+    marginals: np.ndarray
+    mode_configuration: np.ndarray
+    num_samples: int
+    configuration_counts: Dict[bytes, int]
+
+
+class GibbsSampler:
+    """Sequential-scan Gibbs sampler with persistent chain state.
+
+    Args:
+        model: The CRF energy model.
+        burn_in: Sweeps discarded before recording (fresh chains only; a
+            warm-started chain re-burns ``max(1, burn_in // 2)`` sweeps).
+        num_samples: Recorded samples per call.
+        thin: Sweeps between recorded samples.
+        seed: Seed or generator.
+    """
+
+    def __init__(
+        self,
+        model: CrfModel,
+        burn_in: int = 5,
+        num_samples: int = 20,
+        thin: int = 1,
+        seed: RandomState = None,
+    ) -> None:
+        if burn_in < 0:
+            raise InferenceError(f"burn_in must be non-negative, got {burn_in}")
+        if num_samples <= 0:
+            raise InferenceError(f"num_samples must be positive, got {num_samples}")
+        if thin <= 0:
+            raise InferenceError(f"thin must be positive, got {thin}")
+        self._model = model
+        self._burn_in = burn_in
+        self._num_samples = num_samples
+        self._thin = thin
+        self._rng = ensure_rng(seed)
+        self._spins: Optional[np.ndarray] = None
+
+    @property
+    def model(self) -> CrfModel:
+        """The sampled CRF model."""
+        return self._model
+
+    @property
+    def state(self) -> Optional[np.ndarray]:
+        """Current chain configuration as 0/1, or ``None`` before first use."""
+        if self._spins is None:
+            return None
+        return ((self._spins > 0).astype(np.int8)).copy()
+
+    def reset(self) -> None:
+        """Discard the chain state; the next call starts a fresh chain."""
+        self._spins = None
+
+    def _initial_spins(self) -> np.ndarray:
+        """Draw an initial configuration from the current marginals."""
+        probabilities = self._model.database.probabilities
+        draws = self._rng.random(probabilities.size) < probabilities
+        return np.where(draws, 1.0, -1.0)
+
+    def _pin_labels(self, spins: np.ndarray) -> None:
+        """Force labelled claims to their user-provided value."""
+        for claim_index, label in self._model.database.labels.items():
+            spins[claim_index] = 1.0 if label else -1.0
+
+    def sample(self, claim_subset: Optional[np.ndarray] = None) -> GibbsResult:
+        """Run the chain and collect samples.
+
+        Args:
+            claim_subset: When given, only these claims are resampled and
+                all others stay fixed — the localisation used for
+                component-restricted inference (§5.1).  Defaults to all
+                unlabelled claims.
+
+        Returns:
+            A :class:`GibbsResult`; marginals of claims outside the subset
+            are taken from the database unchanged.
+        """
+        database = self._model.database
+        warm = self._spins is not None
+        if self._spins is None or self._spins.size != database.num_claims:
+            self._spins = self._initial_spins()
+        spins = self._spins
+        self._pin_labels(spins)
+
+        if claim_subset is None:
+            free_claims = database.unlabelled_indices
+        else:
+            claim_subset = np.asarray(claim_subset, dtype=np.intp)
+            labelled = set(int(i) for i in database.labelled_indices)
+            free_claims = np.asarray(
+                [int(c) for c in claim_subset if int(c) not in labelled],
+                dtype=np.intp,
+            )
+
+        marginals = np.asarray(database.probabilities, dtype=float).copy()
+        for claim_index, label in database.labels.items():
+            marginals[claim_index] = float(label)
+
+        if free_claims.size == 0:
+            configuration = (spins > 0).astype(np.int8)
+            return GibbsResult(
+                marginals=marginals,
+                mode_configuration=configuration,
+                num_samples=1,
+                configuration_counts={configuration.tobytes(): 1},
+            )
+
+        stats = self._model.source_statistics(spins)
+        burn_in = max(1, self._burn_in // 2) if warm else self._burn_in
+        for _ in range(burn_in):
+            self._sweep(free_claims, spins, stats)
+
+        counts = np.zeros(free_claims.size)
+        configurations: Counter = Counter()
+        for _ in range(self._num_samples):
+            for _ in range(self._thin):
+                self._sweep(free_claims, spins, stats)
+            counts += spins[free_claims] > 0
+            configurations[(spins > 0).astype(np.int8).tobytes()] += 1
+
+        marginals[free_claims] = counts / self._num_samples
+        mode_bytes, _ = configurations.most_common(1)[0]
+        mode_configuration = np.frombuffer(mode_bytes, dtype=np.int8).copy()
+        return GibbsResult(
+            marginals=marginals,
+            mode_configuration=mode_configuration,
+            num_samples=self._num_samples,
+            configuration_counts=dict(configurations),
+        )
+
+    def _sweep(
+        self, free_claims: np.ndarray, spins: np.ndarray, stats: np.ndarray
+    ) -> None:
+        """One random-order sequential scan over the free claims."""
+        model = self._model
+        order = self._rng.permutation(free_claims.size)
+        thresholds = self._rng.random(free_claims.size)
+        for position in order:
+            claim_index = int(free_claims[position])
+            logit = model.conditional_logit(claim_index, spins, stats)
+            probability = float(sigmoid(np.asarray(logit)))
+            new_spin = 1.0 if thresholds[position] < probability else -1.0
+            old_spin = spins[claim_index]
+            if new_spin == old_spin:
+                continue
+            delta = new_spin - old_spin
+            rows = model.pairs_of_claim(claim_index)
+            if rows.size:
+                np.add.at(
+                    stats,
+                    model.pair_source[rows],
+                    model.pair_stance[rows] * delta,
+                )
+            spins[claim_index] = new_spin

@@ -1,0 +1,278 @@
+"""The CRF over sources, documents, and claims (§3.1).
+
+:class:`CrfModel` combines the direct and indirect relations of the paper's
+model into one energy function over claim configurations ``x ∈ {0,1}^|C|``:
+
+* **Direct relation** — each clique π = {c, d, s} contributes stance-signed
+  log-linear evidence about its claim (Eq. 2); per-claim aggregation yields
+  the *local field* ``lf_c`` (see :class:`~repro.crf.potentials.CliqueFeaturizer`).
+* **Indirect relation** — documents of different sources referring to the
+  same claim interact through *source consistency*.  For source ``s``,
+  ``A_s(x) = Σ_{π ∈ cliques(s)} sign_π · spin(c_π)`` (with
+  ``spin = 2x - 1``) measures how consistently the source supports
+  credible and refutes non-credible claims under configuration ``x``.
+  The energy term ``(γ/2) Σ_s A_s(x)² / n_s`` rewards configurations under
+  which each source is coherently trustworthy *or* coherently
+  untrustworthy — exactly the mutual-reinforcement reading of §3.1 ("a
+  source disagreeing with a claim considered credible by several sources
+  shall be regarded as not trustworthy").
+
+The unnormalised joint is::
+
+    log P̃(x) = Σ_c lf_c · x_c + (γ/2) Σ_s A_s(x)² / n_s
+
+whose exact single-claim conditional (used by Gibbs sampling) is::
+
+    logit(c | x_-c) = lf_c + 2γ Σ_{s ∈ sources(c)} B_{s,c} · A_s^{-c}(x) / n_s
+
+where ``B_{s,c}`` is the net stance of source ``s`` towards claim ``c``
+(sum of stance signs over their shared cliques) and ``A_s^{-c}`` excludes
+claim ``c``'s own contribution.  The same trust signal evaluated at the
+current marginal probabilities is the last column of the M-step design
+matrix, so the coupling weight γ is *learned*, not hand-tuned.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.crf.potentials import CliqueFeaturizer, sigmoid
+from repro.crf.weights import CrfWeights
+from repro.data.database import FactDatabase
+from repro.errors import InferenceError
+
+
+class CrfModel:
+    """Energy model over claim configurations for one fact database.
+
+    Args:
+        database: The fact database (structure only is read).
+        weights: Initial parameters; defaults to the maximum-entropy zero
+            vector (§8.1: "model parameters are initialised ... following
+            the maximum entropy principle").
+        aggregation: Claim-evidence aggregation mode (see
+            :class:`~repro.crf.potentials.CliqueFeaturizer`).
+        coupling_enabled: When ``False`` the indirect relation is dropped —
+            the model degenerates to independent logistic regression per
+            claim.  Exposed for the ablation benchmark.
+    """
+
+    def __init__(
+        self,
+        database: FactDatabase,
+        weights: Optional[CrfWeights] = None,
+        aggregation: str = "sqrt",
+        coupling_enabled: bool = True,
+    ) -> None:
+        self._database = database
+        self._featurizer = CliqueFeaturizer(database, aggregation=aggregation)
+        self._coupling_enabled = bool(coupling_enabled)
+        if weights is None:
+            weights = CrfWeights.zeros(
+                database.document_features.shape[1],
+                database.source_features.shape[1],
+            )
+        self._build_pairs()
+        self.set_weights(weights)
+
+    # ------------------------------------------------------------------
+    # Static structure
+    # ------------------------------------------------------------------
+
+    def _build_pairs(self) -> None:
+        """Collapse cliques into unique (claim, source) pairs.
+
+        ``B_{s,c}`` sums the stance signs of all cliques shared by the
+        pair; ``n_s`` counts the cliques of each source (with
+        multiplicity), normalising its consistency statistic.
+        """
+        featurizer = self._featurizer
+        database = self._database
+        pair_map: dict = {}
+        clique_claim = featurizer.clique_claim
+        clique_source = featurizer.clique_source
+        signs = featurizer.stance_signs
+        for idx in range(clique_claim.size):
+            key = (int(clique_claim[idx]), int(clique_source[idx]))
+            pair_map[key] = pair_map.get(key, 0.0) + float(signs[idx])
+
+        count = len(pair_map)
+        self._pair_claim = np.empty(count, dtype=np.intp)
+        self._pair_source = np.empty(count, dtype=np.intp)
+        self._pair_stance = np.empty(count, dtype=float)
+        for row, ((claim, source), net_stance) in enumerate(sorted(pair_map.items())):
+            self._pair_claim[row] = claim
+            self._pair_source[row] = source
+            self._pair_stance[row] = net_stance
+
+        self._source_clique_count = np.bincount(
+            clique_source, minlength=database.num_sources
+        ).astype(float)
+        # Pair rows grouped by claim for O(deg) Gibbs updates.
+        order = np.argsort(self._pair_claim, kind="stable")
+        self._pair_order = order
+        counts = np.bincount(self._pair_claim, minlength=database.num_claims)
+        self._pair_ptr = np.concatenate(([0], np.cumsum(counts)))
+
+    @property
+    def database(self) -> FactDatabase:
+        """The underlying fact database."""
+        return self._database
+
+    @property
+    def featurizer(self) -> CliqueFeaturizer:
+        """The clique featuriser (direct-relation evidence)."""
+        return self._featurizer
+
+    @property
+    def coupling_enabled(self) -> bool:
+        """Whether the indirect relation participates in the energy."""
+        return self._coupling_enabled
+
+    @property
+    def weights(self) -> CrfWeights:
+        """Current parameters W."""
+        return self._weights
+
+    def set_weights(self, weights: CrfWeights) -> None:
+        """Install new parameters and refresh the cached local fields."""
+        expected = self._featurizer.feature_dim + 1
+        if weights.size != expected:
+            raise InferenceError(
+                f"expected {expected} weights (features + coupling), "
+                f"got {weights.size}"
+            )
+        self._weights = weights.copy()
+        self._local_fields = self._featurizer.local_fields(weights.feature_weights)
+
+    @property
+    def local_fields(self) -> np.ndarray:
+        """Cached per-claim direct-relation evidence ``lf_c``."""
+        return self._local_fields
+
+    def pairs_of_claim(self, claim_index: int) -> np.ndarray:
+        """Rows of the (claim, source) pair table involving the claim."""
+        start = self._pair_ptr[claim_index]
+        stop = self._pair_ptr[claim_index + 1]
+        return self._pair_order[start:stop]
+
+    @property
+    def pair_claim(self) -> np.ndarray:
+        """Claim index per pair row."""
+        return self._pair_claim
+
+    @property
+    def pair_source(self) -> np.ndarray:
+        """Source index per pair row."""
+        return self._pair_source
+
+    @property
+    def pair_stance(self) -> np.ndarray:
+        """Net stance ``B_{s,c}`` per pair row."""
+        return self._pair_stance
+
+    @property
+    def source_clique_count(self) -> np.ndarray:
+        """``n_s`` — cliques per source (with multiplicity)."""
+        return self._source_clique_count
+
+    # ------------------------------------------------------------------
+    # Consistency statistics and conditionals
+    # ------------------------------------------------------------------
+
+    def source_statistics(self, spins: np.ndarray) -> np.ndarray:
+        """``A_s = Σ_c B_{s,c} spin_c`` for every source.
+
+        Args:
+            spins: Per-claim spin vector; hard configurations use ±1,
+                expectations use ``2 P(c) - 1``.
+        """
+        contributions = self._pair_stance * spins[self._pair_claim]
+        return np.bincount(
+            self._pair_source,
+            weights=contributions,
+            minlength=self._database.num_sources,
+        )
+
+    def trust_signals(self, probabilities: np.ndarray) -> np.ndarray:
+        """Indirect-relation signal per claim at the given marginals.
+
+        ``T_c = 2 Σ_{s} B_{s,c} A_s^{-c} / n_s`` with ``A_s`` evaluated at
+        expected spins.  This is the coupling column of the M-step design
+        matrix and, multiplied by γ, the coupling part of a claim's
+        conditional logit.
+        """
+        spins = 2.0 * np.asarray(probabilities, dtype=float) - 1.0
+        stats = self.source_statistics(spins)
+        own = self._pair_stance * spins[self._pair_claim]
+        excluded = stats[self._pair_source] - own
+        denom = np.maximum(self._source_clique_count[self._pair_source], 1.0)
+        contributions = 2.0 * self._pair_stance * excluded / denom
+        signals = np.zeros(self._database.num_claims)
+        np.add.at(signals, self._pair_claim, contributions)
+        if not self._coupling_enabled:
+            signals[:] = 0.0
+        return signals
+
+    def conditional_logit(
+        self, claim_index: int, spins: np.ndarray, source_stats: np.ndarray
+    ) -> float:
+        """Exact Gibbs conditional logit of one claim.
+
+        Args:
+            claim_index: The claim being resampled.
+            spins: Current ±1 configuration over all claims.
+            source_stats: Current ``A_s`` vector consistent with ``spins``.
+        """
+        logit = float(self._local_fields[claim_index])
+        if not self._coupling_enabled:
+            return logit
+        gamma = self._weights.coupling
+        if gamma == 0.0:
+            return logit
+        rows = self.pairs_of_claim(claim_index)
+        if rows.size == 0:
+            return logit
+        sources = self._pair_source[rows]
+        stances = self._pair_stance[rows]
+        own = stances * spins[claim_index]
+        excluded = source_stats[sources] - own
+        denom = np.maximum(self._source_clique_count[sources], 1.0)
+        logit += 2.0 * gamma * float(np.sum(stances * excluded / denom))
+        return logit
+
+    def marginal_logits(self, probabilities: np.ndarray) -> np.ndarray:
+        """Mean-field logits: local field plus γ times the trust signal."""
+        logits = self._local_fields.copy()
+        if self._coupling_enabled:
+            logits = logits + self._weights.coupling * self.trust_signals(
+                probabilities
+            )
+        return logits
+
+    def mean_field_probabilities(self, probabilities: np.ndarray) -> np.ndarray:
+        """One damped mean-field update of the marginals."""
+        return sigmoid(self.marginal_logits(probabilities))
+
+    # ------------------------------------------------------------------
+    # Joint (for exact entropy on small components)
+    # ------------------------------------------------------------------
+
+    def joint_log_potential(self, configuration: np.ndarray) -> float:
+        """``log P̃(x)`` of a full 0/1 configuration (unnormalised)."""
+        configuration = np.asarray(configuration)
+        if configuration.shape != (self._database.num_claims,):
+            raise InferenceError(
+                f"configuration must cover all {self._database.num_claims} claims"
+            )
+        value = float(np.dot(self._local_fields, configuration))
+        if self._coupling_enabled and self._weights.coupling != 0.0:
+            spins = 2.0 * configuration.astype(float) - 1.0
+            stats = self.source_statistics(spins)
+            denom = np.maximum(self._source_clique_count, 1.0)
+            value += 0.5 * self._weights.coupling * float(
+                np.sum(stats * stats / denom)
+            )
+        return value

@@ -1,0 +1,59 @@
+"""Connected-component index of the CRF graph (§5.1, "Graph partitioning").
+
+The paper accelerates claim selection by decomposing the CRF into its
+connected components: claims in different components never influence one
+another, so inference and information-gain evaluation can be restricted to
+the component of the claim under consideration.
+
+:class:`ComponentIndex` caches the decomposition and answers
+claim-to-component queries in O(1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.data.database import FactDatabase
+
+
+class ComponentIndex:
+    """Cached connected-component decomposition of a fact database."""
+
+    def __init__(self, database: FactDatabase) -> None:
+        self._components: List[np.ndarray] = database.connected_components()
+        self._claim_component = np.empty(database.num_claims, dtype=np.intp)
+        for component_id, members in enumerate(self._components):
+            self._claim_component[members] = component_id
+
+    @property
+    def num_components(self) -> int:
+        """Number of connected components."""
+        return len(self._components)
+
+    @property
+    def components(self) -> List[np.ndarray]:
+        """Claim-index arrays, one per component."""
+        return [members.copy() for members in self._components]
+
+    def component_of(self, claim_index: int) -> int:
+        """Component identifier of a claim."""
+        return int(self._claim_component[claim_index])
+
+    def members_of(self, component_id: int) -> np.ndarray:
+        """Claims of a component."""
+        return self._components[component_id].copy()
+
+    def component_of_claim(self, claim_index: int) -> np.ndarray:
+        """Claims in the same component as ``claim_index`` (inclusive)."""
+        return self.members_of(self.component_of(claim_index))
+
+    def sizes(self) -> np.ndarray:
+        """Component sizes in component-id order."""
+        return np.asarray([members.size for members in self._components])
+
+    def largest(self) -> np.ndarray:
+        """Claims of the largest component."""
+        sizes = self.sizes()
+        return self.members_of(int(np.argmax(sizes)))

@@ -1,0 +1,207 @@
+"""Clique featurisation for the log-linear potentials (Eq. 2).
+
+Each relation factor π = {c, d, s} contributes evidence about its claim's
+credibility.  In the tied-weight model the evidence of a clique is the dot
+product of the weight vector with the clique feature map ``[1, f^D(d),
+f^S(s)]``, multiplied by the stance sign (the opposing-variable
+construction of Eq. 3: a refuting document's evidence enters with a flipped
+sign).
+
+:class:`CliqueFeaturizer` precomputes the clique feature matrix and a
+CSR-style index from claims to their cliques, and aggregates clique
+evidence into per-claim *local fields*.  Aggregation modes:
+
+* ``"sum"`` — the faithful product-of-potentials reading of Eq. 1; claims
+  referenced by many documents accumulate unbounded evidence.
+* ``"mean"`` — average evidence; coverage does not increase confidence.
+* ``"sqrt"`` (default) — sum scaled by ``1/sqrt(n)``: confidence grows with
+  coverage at the statistically natural rate and the Gibbs conditionals
+  stay in a numerically benign range.  DESIGN.md lists this as an ablation
+  knob (`benchmarks/test_ablation_aggregation.py`).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.database import FactDatabase
+from repro.errors import InferenceError
+
+#: Supported claim-evidence aggregation modes.
+AGGREGATION_MODES = ("sum", "mean", "sqrt")
+
+
+class CliqueFeaturizer:
+    """Precomputed clique features and claim-to-clique indexing.
+
+    Args:
+        database: The fact database whose structure is featurised.
+        aggregation: One of :data:`AGGREGATION_MODES`.
+    """
+
+    def __init__(self, database: FactDatabase, aggregation: str = "sqrt") -> None:
+        if aggregation not in AGGREGATION_MODES:
+            raise InferenceError(
+                f"aggregation must be one of {AGGREGATION_MODES}, "
+                f"got {aggregation!r}"
+            )
+        self._database = database
+        self._aggregation = aggregation
+        self._build()
+
+    def _build(self) -> None:
+        database = self._database
+        num_cliques = database.num_cliques
+        m_d = database.document_features.shape[1]
+        m_s = database.source_features.shape[1]
+        self._feature_dim = 1 + m_d + m_s
+
+        clique_claim = np.empty(num_cliques, dtype=np.intp)
+        clique_source = np.empty(num_cliques, dtype=np.intp)
+        stance_signs = np.empty(num_cliques, dtype=float)
+        features = np.empty((num_cliques, self._feature_dim), dtype=float)
+        for idx, clique in enumerate(database.cliques):
+            clique_claim[idx] = clique.claim_index
+            clique_source[idx] = clique.source_index
+            stance_signs[idx] = float(clique.stance_sign)
+            features[idx, 0] = 1.0
+            features[idx, 1 : 1 + m_d] = database.document_features[
+                clique.document_index
+            ]
+            features[idx, 1 + m_d :] = database.source_features[clique.source_index]
+        # The stance sign multiplies the whole evidence term (Eq. 3).
+        self._signed_features = features * stance_signs[:, None]
+        self._clique_claim = clique_claim
+        self._clique_source = clique_source
+        self._stance_signs = stance_signs
+
+        # CSR layout: cliques sorted by claim, with per-claim slices.
+        order = np.argsort(clique_claim, kind="stable")
+        self._clique_order = order
+        counts = np.bincount(clique_claim, minlength=database.num_claims)
+        self._claim_ptr = np.concatenate(([0], np.cumsum(counts)))
+        self._claim_degree = counts.astype(float)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def database(self) -> FactDatabase:
+        """The featurised fact database."""
+        return self._database
+
+    @property
+    def aggregation(self) -> str:
+        """Active aggregation mode."""
+        return self._aggregation
+
+    @property
+    def feature_dim(self) -> int:
+        """Dimensionality of the clique feature map ``[1, f^D, f^S]``."""
+        return self._feature_dim
+
+    @property
+    def clique_claim(self) -> np.ndarray:
+        """Claim index of every clique."""
+        return self._clique_claim
+
+    @property
+    def clique_source(self) -> np.ndarray:
+        """Source index of every clique."""
+        return self._clique_source
+
+    @property
+    def stance_signs(self) -> np.ndarray:
+        """Stance sign (+1 support / -1 refute) of every clique."""
+        return self._stance_signs
+
+    @property
+    def signed_features(self) -> np.ndarray:
+        """Clique feature matrix with stance signs applied."""
+        return self._signed_features
+
+    @property
+    def claim_degree(self) -> np.ndarray:
+        """Number of cliques per claim."""
+        return self._claim_degree
+
+    def cliques_of_claim(self, claim_index: int) -> np.ndarray:
+        """Clique indices of one claim (CSR slice)."""
+        start, stop = self._claim_ptr[claim_index], self._claim_ptr[claim_index + 1]
+        return self._clique_order[start:stop]
+
+    def aggregation_scale(self) -> np.ndarray:
+        """Per-claim scale factor implementing the aggregation mode.
+
+        Multiplying a claim's summed clique evidence by this factor yields
+        the aggregated evidence; claims with no cliques get scale 0.
+        """
+        degree = self._claim_degree
+        scale = np.zeros_like(degree)
+        covered = degree > 0
+        if self._aggregation == "sum":
+            scale[covered] = 1.0
+        elif self._aggregation == "mean":
+            scale[covered] = 1.0 / degree[covered]
+        else:  # sqrt
+            scale[covered] = 1.0 / np.sqrt(degree[covered])
+        return scale
+
+    def claim_design_matrix(self) -> np.ndarray:
+        """Aggregated clique features per claim (M-step design matrix).
+
+        Row ``c`` is ``scale(c) * Σ_{π ∈ cliques(c)} sign_π [1, f^D, f^S]``,
+        so the local field of claim ``c`` equals the dot product of this row
+        with the feature weights.  Claims with no cliques get a zero row.
+        """
+        sums = np.zeros((self._database.num_claims, self._feature_dim))
+        np.add.at(sums, self._clique_claim, self._signed_features)
+        return sums * self.aggregation_scale()[:, None]
+
+    def local_fields(self, feature_weights: np.ndarray) -> np.ndarray:
+        """Per-claim aggregated evidence ``z_c · w`` (the direct relation).
+
+        Args:
+            feature_weights: Weight vector for ``[1, f^D, f^S]``.
+
+        Returns:
+            Vector of length ``num_claims``.
+        """
+        feature_weights = np.asarray(feature_weights, dtype=float)
+        if feature_weights.shape != (self._feature_dim,):
+            raise InferenceError(
+                f"expected {self._feature_dim} feature weights, "
+                f"got shape {feature_weights.shape}"
+            )
+        clique_evidence = self._signed_features @ feature_weights
+        sums = np.zeros(self._database.num_claims)
+        np.add.at(sums, self._clique_claim, clique_evidence)
+        return sums * self.aggregation_scale()
+
+
+def sigmoid(values: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    values = np.asarray(values, dtype=float)
+    out = np.empty_like(values)
+    positive = values >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-values[positive]))
+    exp_vals = np.exp(values[~positive])
+    out[~positive] = exp_vals / (1.0 + exp_vals)
+    return out
+
+
+def log_sigmoid(values: np.ndarray) -> np.ndarray:
+    """Numerically stable ``log(sigmoid(x))``."""
+    values = np.asarray(values, dtype=float)
+    return -np.logaddexp(0.0, -values)
+
+
+def clique_feature_names(database: FactDatabase) -> Tuple[str, ...]:
+    """Human-readable names of the clique feature map columns."""
+    m_d = database.document_features.shape[1]
+    m_s = database.source_features.shape[1]
+    names = ["bias"]
+    names += [f"doc_f{i}" for i in range(m_d)]
+    names += [f"src_f{i}" for i in range(m_s)]
+    return tuple(names)

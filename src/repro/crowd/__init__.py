@@ -1,0 +1,26 @@
+"""Crowdsourcing substrate (§8.9): validators, consensus, deployment."""
+
+from repro.crowd.aggregation import (
+    DawidSkeneBinary,
+    DawidSkeneResult,
+    majority_vote,
+)
+from repro.crowd.deployment import DeploymentOutcome, run_deployment
+from repro.crowd.workers import (
+    CROWD_PROFILES,
+    EXPERT_PROFILES,
+    SimulatedValidator,
+    ValidatorProfile,
+)
+
+__all__ = [
+    "CROWD_PROFILES",
+    "DawidSkeneBinary",
+    "DawidSkeneResult",
+    "DeploymentOutcome",
+    "EXPERT_PROFILES",
+    "SimulatedValidator",
+    "ValidatorProfile",
+    "majority_vote",
+    "run_deployment",
+]

@@ -1,0 +1,175 @@
+"""Answer aggregation for crowdsourced validation (§8.9).
+
+The paper computes "the consensus of the answers among crowd workers using
+existing algorithms that include an evaluation of worker reliability
+[33]".  Two aggregators are provided:
+
+* :func:`majority_vote` — the baseline, ties broken towards non-credible.
+* :class:`DawidSkeneBinary` — EM estimation of per-worker reliability
+  jointly with the consensus labels (Dawid & Skene, 1979, specialised to
+  binary tasks), the standard representative of reliability-aware
+  aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationProcessError
+
+#: Answer matrix type: ``{task_id: {worker_id: 0/1}}``.
+AnswerMatrix = Mapping[str, Mapping[str, int]]
+
+
+def majority_vote(answers: AnswerMatrix) -> Dict[str, int]:
+    """Per-task majority consensus; ties resolve to 0 (non-credible)."""
+    consensus: Dict[str, int] = {}
+    for task_id, votes in answers.items():
+        if not votes:
+            raise ValidationProcessError(f"task {task_id!r} has no answers")
+        positive = sum(1 for v in votes.values() if v == 1)
+        consensus[task_id] = 1 if positive * 2 > len(votes) else 0
+    return consensus
+
+
+@dataclass
+class DawidSkeneResult:
+    """Outcome of Dawid–Skene aggregation.
+
+    Attributes:
+        consensus: Hard consensus label per task.
+        posteriors: P(task label = 1) per task.
+        worker_accuracy: Estimated reliability per worker.
+        iterations: EM iterations performed.
+    """
+
+    consensus: Dict[str, int]
+    posteriors: Dict[str, float]
+    worker_accuracy: Dict[str, float]
+    iterations: int
+
+
+class DawidSkeneBinary:
+    """Binary Dawid–Skene EM with symmetric worker confusion.
+
+    Each worker ``w`` has one reliability parameter ``a_w`` (probability
+    of reporting the true label); the class prior is learned.  EM
+    alternates posterior inference over task labels with reliability
+    re-estimation until the posteriors stabilise.
+
+    Args:
+        max_iterations: EM iteration cap.
+        tolerance: Mean absolute posterior change for convergence.
+        reliability_floor: Lower clip for estimated reliabilities,
+            preventing degenerate "always wrong" workers from flipping
+            labels with certainty.
+    """
+
+    def __init__(
+        self,
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+        reliability_floor: float = 0.05,
+    ) -> None:
+        if max_iterations < 1:
+            raise ValidationProcessError("max_iterations must be at least 1")
+        if not 0.0 <= reliability_floor < 0.5:
+            raise ValidationProcessError(
+                "reliability_floor must lie in [0, 0.5)"
+            )
+        self._max_iterations = max_iterations
+        self._tolerance = tolerance
+        self._floor = reliability_floor
+
+    def aggregate(self, answers: AnswerMatrix) -> DawidSkeneResult:
+        """Run EM over the answer matrix."""
+        tasks, workers, matrix, mask = _dense_answers(answers)
+        num_tasks, num_workers = matrix.shape
+
+        # Initialise posteriors from majority vote fractions.
+        with np.errstate(invalid="ignore"):
+            posteriors = np.where(
+                mask.sum(axis=1) > 0,
+                (matrix * mask).sum(axis=1) / np.maximum(mask.sum(axis=1), 1),
+                0.5,
+            )
+        accuracy = np.full(num_workers, 0.8)
+        prior = 0.5
+        iterations = 0
+        for iterations in range(1, self._max_iterations + 1):
+            # E-step: task-label posteriors under current reliabilities.
+            log_pos = np.log(max(prior, 1e-12)) * np.ones(num_tasks)
+            log_neg = np.log(max(1.0 - prior, 1e-12)) * np.ones(num_tasks)
+            agree = np.clip(accuracy, self._floor, 1.0 - self._floor)
+            log_agree = np.log(agree)
+            log_disagree = np.log(1.0 - agree)
+            for w in range(num_workers):
+                observed = mask[:, w]
+                votes = matrix[:, w]
+                log_pos[observed] += np.where(
+                    votes[observed] == 1, log_agree[w], log_disagree[w]
+                )
+                log_neg[observed] += np.where(
+                    votes[observed] == 0, log_agree[w], log_disagree[w]
+                )
+            peak = np.maximum(log_pos, log_neg)
+            pos = np.exp(log_pos - peak)
+            neg = np.exp(log_neg - peak)
+            new_posteriors = pos / (pos + neg)
+
+            # M-step: reliabilities and class prior.
+            for w in range(num_workers):
+                observed = mask[:, w]
+                if not observed.any():
+                    continue
+                votes = matrix[observed, w]
+                p = new_posteriors[observed]
+                expected_agree = np.where(votes == 1, p, 1.0 - p).sum()
+                accuracy[w] = expected_agree / observed.sum()
+            prior = float(new_posteriors.mean())
+
+            delta = float(np.mean(np.abs(new_posteriors - posteriors)))
+            posteriors = new_posteriors
+            if delta < self._tolerance:
+                break
+
+        consensus = {
+            task: int(posteriors[i] >= 0.5) for i, task in enumerate(tasks)
+        }
+        return DawidSkeneResult(
+            consensus=consensus,
+            posteriors={task: float(posteriors[i]) for i, task in enumerate(tasks)},
+            worker_accuracy={
+                worker: float(accuracy[w]) for w, worker in enumerate(workers)
+            },
+            iterations=iterations,
+        )
+
+
+def _dense_answers(
+    answers: AnswerMatrix,
+) -> Tuple[List[str], List[str], np.ndarray, np.ndarray]:
+    """Dense (tasks × workers) vote and observation matrices."""
+    if not answers:
+        raise ValidationProcessError("answer matrix is empty")
+    tasks = sorted(answers)
+    workers = sorted({w for votes in answers.values() for w in votes})
+    if not workers:
+        raise ValidationProcessError("answer matrix has no workers")
+    worker_index = {worker: idx for idx, worker in enumerate(workers)}
+    matrix = np.zeros((len(tasks), len(workers)), dtype=np.int8)
+    mask = np.zeros((len(tasks), len(workers)), dtype=bool)
+    for t, task in enumerate(tasks):
+        for worker, vote in answers[task].items():
+            if vote not in (0, 1):
+                raise ValidationProcessError(
+                    f"vote for task {task!r} by {worker!r} must be 0/1, "
+                    f"got {vote!r}"
+                )
+            w = worker_index[worker]
+            matrix[t, w] = vote
+            mask[t, w] = True
+    return tasks, workers, matrix, mask

@@ -1,0 +1,168 @@
+"""Deployment simulation: experts vs. crowd workers on sampled claims (§8.9).
+
+Reproduces the protocol of Table 3: 50 randomly selected claims per
+dataset are validated (a) by a panel of expert validators and (b) by
+crowd workers with redundant assignments whose answers are aggregated with
+a reliability-aware consensus algorithm.  Reported per population: total
+validation time and accuracy against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.crowd.aggregation import DawidSkeneBinary, majority_vote
+from repro.crowd.workers import (
+    CROWD_PROFILES,
+    EXPERT_PROFILES,
+    SimulatedValidator,
+    ValidatorProfile,
+)
+from repro.data.database import FactDatabase
+from repro.errors import ValidationProcessError
+from repro.utils.rng import RandomState, derive_rng, ensure_rng
+
+
+@dataclass
+class DeploymentOutcome:
+    """Per-population result of a deployment run (one Table 3 row pair).
+
+    Attributes:
+        population: ``"expert"`` or ``"crowd"``.
+        mean_seconds: Mean per-claim validation time.
+        accuracy: Consensus accuracy against ground truth.
+        total_answers: Individual answers collected.
+    """
+
+    population: str
+    mean_seconds: float
+    accuracy: float
+    total_answers: int
+
+
+def run_deployment(
+    database: FactDatabase,
+    dataset_name: str,
+    num_claims: int = 50,
+    num_experts: int = 3,
+    num_crowd_workers: int = 15,
+    crowd_redundancy: int = 5,
+    aggregator: str = "dawid_skene",
+    seed: RandomState = None,
+) -> Dict[str, DeploymentOutcome]:
+    """Simulate the §8.9 deployment on a sampled claim set.
+
+    Args:
+        database: Fact database with ground truth.
+        dataset_name: Key into the per-dataset validator profiles.
+        num_claims: Claims sampled for validation (paper: 50).
+        num_experts: Size of the expert panel (paper: 3).
+        num_crowd_workers: Crowd pool size.
+        crowd_redundancy: Workers assigned per claim (HIT redundancy).
+        aggregator: ``"dawid_skene"`` or ``"majority"``.
+        seed: Seed or generator.
+
+    Returns:
+        Mapping ``{"expert": ..., "crowd": ...}``.
+    """
+    if dataset_name not in EXPERT_PROFILES:
+        known = ", ".join(sorted(EXPERT_PROFILES))
+        raise ValidationProcessError(
+            f"no validator profiles for dataset {dataset_name!r}; known: {known}"
+        )
+    rng = ensure_rng(seed)
+    num_claims = min(num_claims, database.num_claims)
+    sampled = rng.choice(database.num_claims, size=num_claims, replace=False)
+    claims = [database.claims[int(i)] for i in sampled]
+    truth = {claim.claim_id: int(bool(claim.truth)) for claim in claims}
+
+    expert = _run_experts(
+        claims, truth, EXPERT_PROFILES[dataset_name], num_experts,
+        derive_rng(rng, 1),
+    )
+    crowd = _run_crowd(
+        claims,
+        truth,
+        CROWD_PROFILES[dataset_name],
+        num_crowd_workers,
+        crowd_redundancy,
+        aggregator,
+        derive_rng(rng, 2),
+    )
+    return {"expert": expert, "crowd": crowd}
+
+
+def _run_experts(
+    claims: List,
+    truth: Dict[str, int],
+    profile: ValidatorProfile,
+    num_experts: int,
+    rng: np.random.Generator,
+) -> DeploymentOutcome:
+    """Experts split the claim set; each claim is validated once."""
+    experts = [
+        SimulatedValidator(profile, f"expert-{i}", seed=derive_rng(rng, i))
+        for i in range(num_experts)
+    ]
+    seconds = []
+    hits = 0
+    for index, claim in enumerate(claims):
+        expert = experts[index % len(experts)]
+        answer = expert.answer(claim)
+        seconds.append(expert.response_seconds())
+        if answer == truth[claim.claim_id]:
+            hits += 1
+    return DeploymentOutcome(
+        population="expert",
+        mean_seconds=float(np.mean(seconds)),
+        accuracy=hits / len(claims),
+        total_answers=len(claims),
+    )
+
+
+def _run_crowd(
+    claims: List,
+    truth: Dict[str, int],
+    profile: ValidatorProfile,
+    num_workers: int,
+    redundancy: int,
+    aggregator: str,
+    rng: np.random.Generator,
+) -> DeploymentOutcome:
+    """Crowd workers answer redundantly; consensus is aggregated."""
+    if aggregator not in ("dawid_skene", "majority"):
+        raise ValidationProcessError(
+            f"aggregator must be 'dawid_skene' or 'majority', got {aggregator!r}"
+        )
+    workers = [
+        SimulatedValidator(profile, f"worker-{i}", seed=derive_rng(rng, i))
+        for i in range(num_workers)
+    ]
+    answers: Dict[str, Dict[str, int]] = {}
+    seconds = []
+    total_answers = 0
+    for claim in claims:
+        redundancy_here = min(redundancy, len(workers))
+        chosen = rng.choice(len(workers), size=redundancy_here, replace=False)
+        votes: Dict[str, int] = {}
+        for worker_index in chosen:
+            worker = workers[int(worker_index)]
+            votes[worker.worker_id] = worker.answer(claim)
+            seconds.append(worker.response_seconds())
+            total_answers += 1
+        answers[claim.claim_id] = votes
+
+    if aggregator == "majority":
+        consensus = majority_vote(answers)
+    else:
+        consensus = DawidSkeneBinary().aggregate(answers).consensus
+    hits = sum(1 for cid, value in consensus.items() if value == truth[cid])
+    return DeploymentOutcome(
+        population="crowd",
+        mean_seconds=float(np.mean(seconds)),
+        accuracy=hits / len(claims),
+        total_answers=total_answers,
+    )

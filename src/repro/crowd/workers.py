@@ -1,0 +1,99 @@
+"""Simulated human validators for the deployment study (§8.9).
+
+The paper deploys validation tasks to three senior computer scientists
+(experts) and FigureEight crowd workers, reporting per-dataset validation
+time and accuracy (Table 3).  We simulate both populations: a validator
+has a per-claim *accuracy* (probability of answering with the ground
+truth) and a log-normal *response-time* distribution, calibrated per
+dataset so that experts are slower but more accurate than crowd workers —
+the trade-off Table 3 demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.entities import Claim
+from repro.errors import ValidationProcessError
+from repro.utils.checks import check_positive, check_probability
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass(frozen=True)
+class ValidatorProfile:
+    """Behavioural parameters of one validator population.
+
+    Attributes:
+        name: Population label (``"expert"`` / ``"crowd"``).
+        accuracy: Probability of answering with the ground truth.
+        median_seconds: Median per-claim validation time.
+        time_sigma: Log-normal shape of the time distribution.
+    """
+
+    name: str
+    accuracy: float
+    median_seconds: float
+    time_sigma: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_probability(self.accuracy, "accuracy")
+        check_positive(self.median_seconds, "median_seconds")
+        check_positive(self.time_sigma, "time_sigma")
+
+
+class SimulatedValidator:
+    """A single validator drawn from a :class:`ValidatorProfile`.
+
+    Individual accuracy and speed vary around the profile values so that a
+    crowd is heterogeneous — a property the Dawid–Skene aggregation of
+    :mod:`repro.crowd.aggregation` exploits.
+    """
+
+    def __init__(
+        self,
+        profile: ValidatorProfile,
+        worker_id: str,
+        seed: RandomState = None,
+    ) -> None:
+        if not worker_id:
+            raise ValidationProcessError("worker_id must be non-empty")
+        self._rng = ensure_rng(seed)
+        self.profile = profile
+        self.worker_id = worker_id
+        jitter = float(np.clip(self._rng.normal(0.0, 0.04), -0.12, 0.12))
+        self.accuracy = float(np.clip(profile.accuracy + jitter, 0.5, 1.0))
+        self.speed_factor = float(self._rng.lognormal(0.0, 0.25))
+
+    def answer(self, claim: Claim) -> int:
+        """Validate one claim; correct with this worker's accuracy."""
+        if claim.truth is None:
+            raise ValidationProcessError(
+                f"claim {claim.claim_id!r} has no ground truth to answer from"
+            )
+        correct = 1 if claim.truth else 0
+        if self._rng.random() < self.accuracy:
+            return correct
+        return 1 - correct
+
+    def response_seconds(self) -> float:
+        """Draw a per-claim validation time."""
+        mu = np.log(self.profile.median_seconds * self.speed_factor)
+        return float(self._rng.lognormal(mu, self.profile.time_sigma))
+
+
+#: Per-dataset expert profiles, calibrated to the magnitudes of Table 3
+#: (healthcare claims take experts much longer than Wikipedia hoaxes).
+EXPERT_PROFILES = {
+    "wiki": ValidatorProfile("expert", accuracy=0.99, median_seconds=268.0),
+    "health": ValidatorProfile("expert", accuracy=0.94, median_seconds=1579.0),
+    "snopes": ValidatorProfile("expert", accuracy=0.96, median_seconds=559.0),
+}
+
+#: Per-dataset crowd profiles (faster, less accurate).
+CROWD_PROFILES = {
+    "wiki": ValidatorProfile("crowd", accuracy=0.80, median_seconds=186.0),
+    "health": ValidatorProfile("crowd", accuracy=0.75, median_seconds=561.0),
+    "snopes": ValidatorProfile("crowd", accuracy=0.77, median_seconds=336.0),
+}

@@ -1,0 +1,25 @@
+"""Data model of the fact-checking setting (§2.1).
+
+Exports the entity types (:class:`Source`, :class:`Document`,
+:class:`Claim`), document-claim :class:`Stance`, the probabilistic fact
+database :class:`FactDatabase`, and :class:`Grounding` — the trusted set of
+facts derived from it.
+"""
+
+from repro.data.database import Clique, FactDatabase, FactDatabaseState
+from repro.data.entities import Claim, ClaimLink, Document, Source
+from repro.data.grounding import Grounding, precision_improvement
+from repro.data.stance import Stance
+
+__all__ = [
+    "Claim",
+    "ClaimLink",
+    "Clique",
+    "Document",
+    "FactDatabase",
+    "FactDatabaseState",
+    "Grounding",
+    "Source",
+    "Stance",
+    "precision_improvement",
+]

@@ -1,0 +1,446 @@
+"""The probabilistic fact database ``Q = <S, D, C, P>`` (§2.1).
+
+:class:`FactDatabase` holds the immutable *structure* of the fact-checking
+setting — sources, documents, claims, and the (source, document, claim)
+cliques of the CRF (§3.1) — together with the mutable *state*: the
+credibility probability ``P(c)`` of every claim and the user labels received
+so far.  User labels partition the claims into the labelled set ``C^L`` and
+the unlabelled set ``C^U`` (§3.2).
+
+Structure is index-based internally (claims, documents and sources are dense
+integer indices) for numerical efficiency, while the public API accepts and
+returns string identifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.entities import Claim, Document, Source
+from repro.data.stance import Stance
+from repro.errors import DataModelError
+
+
+@dataclass(frozen=True)
+class Clique:
+    """A relation factor π = {c, d, s} of the CRF (§3.1).
+
+    One clique exists per (document, claim-link) pair; the publishing source
+    completes the triple.  ``stance_sign`` is ``+1`` when the document
+    supports the claim and ``-1`` when it refutes it, implementing the
+    opposing-variable construction of Eq. 3.
+    """
+
+    claim_index: int
+    document_index: int
+    source_index: int
+    stance_sign: int
+
+
+class FactDatabase:
+    """Structure and probabilistic state of a fact-checking instance.
+
+    Args:
+        sources: All sources; feature vectors must share one dimensionality.
+        documents: All documents; each must reference a known source, and
+            every claim link must reference a known claim.
+        claims: All claims.
+        prior: Initial credibility probability assigned to every claim.
+            The paper initialises with 0.5 following the maximum-entropy
+            principle (§8.1).
+
+    Raises:
+        DataModelError: On identifier collisions, dangling references, or
+            inconsistent feature dimensionalities.
+    """
+
+    def __init__(
+        self,
+        sources: Sequence[Source],
+        documents: Sequence[Document],
+        claims: Sequence[Claim],
+        prior: float = 0.5,
+    ) -> None:
+        if not 0.0 <= prior <= 1.0:
+            raise DataModelError(f"prior must be in [0, 1], got {prior!r}")
+        self._sources: Tuple[Source, ...] = tuple(sources)
+        self._documents: Tuple[Document, ...] = tuple(documents)
+        self._claims: Tuple[Claim, ...] = tuple(claims)
+        if not self._claims:
+            raise DataModelError("a fact database needs at least one claim")
+
+        self._source_index = _index_unique(
+            (s.source_id for s in self._sources), "source"
+        )
+        self._document_index = _index_unique(
+            (d.document_id for d in self._documents), "document"
+        )
+        self._claim_index = _index_unique((c.claim_id for c in self._claims), "claim")
+
+        self._source_features = _stack_features(
+            [s.features for s in self._sources], "source"
+        )
+        self._document_features = _stack_features(
+            [d.features for d in self._documents], "document"
+        )
+
+        self._cliques: List[Clique] = []
+        self._claim_cliques: List[List[int]] = [[] for _ in self._claims]
+        self._source_cliques: List[List[int]] = [[] for _ in self._sources]
+        self._document_cliques: List[List[int]] = [[] for _ in self._documents]
+        self._build_cliques()
+
+        self._claim_sources: List[np.ndarray] = []
+        self._source_claims: List[np.ndarray] = []
+        self._build_bipartite_adjacency()
+
+        self._prior = float(prior)
+        self._probabilities = np.full(len(self._claims), self._prior, dtype=float)
+        self._labels: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _build_cliques(self) -> None:
+        for doc_idx, document in enumerate(self._documents):
+            source_idx = self._source_index.get(document.source_id)
+            if source_idx is None:
+                raise DataModelError(
+                    f"document {document.document_id!r} references unknown "
+                    f"source {document.source_id!r}"
+                )
+            for link in document.claim_links:
+                claim_idx = self._claim_index.get(link.claim_id)
+                if claim_idx is None:
+                    raise DataModelError(
+                        f"document {document.document_id!r} references unknown "
+                        f"claim {link.claim_id!r}"
+                    )
+                clique = Clique(
+                    claim_index=claim_idx,
+                    document_index=doc_idx,
+                    source_index=source_idx,
+                    stance_sign=link.stance.sign,
+                )
+                clique_idx = len(self._cliques)
+                self._cliques.append(clique)
+                self._claim_cliques[claim_idx].append(clique_idx)
+                self._source_cliques[source_idx].append(clique_idx)
+                self._document_cliques[doc_idx].append(clique_idx)
+
+    def _build_bipartite_adjacency(self) -> None:
+        claim_sources: List[set] = [set() for _ in self._claims]
+        source_claims: List[set] = [set() for _ in self._sources]
+        for clique in self._cliques:
+            claim_sources[clique.claim_index].add(clique.source_index)
+            source_claims[clique.source_index].add(clique.claim_index)
+        self._claim_sources = [
+            np.fromiter(sorted(members), dtype=np.intp, count=len(members))
+            for members in claim_sources
+        ]
+        self._source_claims = [
+            np.fromiter(sorted(members), dtype=np.intp, count=len(members))
+            for members in source_claims
+        ]
+
+    # ------------------------------------------------------------------
+    # Sizes and entity access
+    # ------------------------------------------------------------------
+
+    @property
+    def num_sources(self) -> int:
+        """|S|, the number of sources."""
+        return len(self._sources)
+
+    @property
+    def num_documents(self) -> int:
+        """|D|, the number of documents."""
+        return len(self._documents)
+
+    @property
+    def num_claims(self) -> int:
+        """|C|, the number of claims."""
+        return len(self._claims)
+
+    @property
+    def num_cliques(self) -> int:
+        """|Π|, the number of (source, document, claim) relation factors."""
+        return len(self._cliques)
+
+    @property
+    def sources(self) -> Tuple[Source, ...]:
+        """All sources, in index order."""
+        return self._sources
+
+    @property
+    def documents(self) -> Tuple[Document, ...]:
+        """All documents, in index order."""
+        return self._documents
+
+    @property
+    def claims(self) -> Tuple[Claim, ...]:
+        """All claims, in index order."""
+        return self._claims
+
+    @property
+    def cliques(self) -> Tuple[Clique, ...]:
+        """All relation factors π = {c, d, s} (§3.1)."""
+        return tuple(self._cliques)
+
+    @property
+    def prior(self) -> float:
+        """Initial credibility probability of unlabelled claims."""
+        return self._prior
+
+    @property
+    def source_features(self) -> np.ndarray:
+        """Matrix of source features, shape ``(num_sources, m_S)``."""
+        return self._source_features
+
+    @property
+    def document_features(self) -> np.ndarray:
+        """Matrix of document features, shape ``(num_documents, m_D)``."""
+        return self._document_features
+
+    def claim_id(self, index: int) -> str:
+        """Identifier of the claim at ``index``."""
+        return self._claims[index].claim_id
+
+    def claim_position(self, claim_id: str) -> int:
+        """Dense index of ``claim_id``."""
+        try:
+            return self._claim_index[claim_id]
+        except KeyError:
+            raise DataModelError(f"unknown claim {claim_id!r}") from None
+
+    def source_position(self, source_id: str) -> int:
+        """Dense index of ``source_id``."""
+        try:
+            return self._source_index[source_id]
+        except KeyError:
+            raise DataModelError(f"unknown source {source_id!r}") from None
+
+    def document_position(self, document_id: str) -> int:
+        """Dense index of ``document_id``."""
+        try:
+            return self._document_index[document_id]
+        except KeyError:
+            raise DataModelError(f"unknown document {document_id!r}") from None
+
+    # ------------------------------------------------------------------
+    # Graph adjacency
+    # ------------------------------------------------------------------
+
+    def cliques_of_claim(self, claim_index: int) -> List[int]:
+        """Indices of cliques containing the claim."""
+        return list(self._claim_cliques[claim_index])
+
+    def cliques_of_source(self, source_index: int) -> List[int]:
+        """Indices of cliques containing the source."""
+        return list(self._source_cliques[source_index])
+
+    def sources_of_claim(self, claim_index: int) -> np.ndarray:
+        """Indices of sources with at least one document about the claim."""
+        return self._claim_sources[claim_index]
+
+    def claims_of_source(self, source_index: int) -> np.ndarray:
+        """C_s: indices of claims connected to the source (Eq. 17)."""
+        return self._source_claims[source_index]
+
+    def connected_components(self) -> List[np.ndarray]:
+        """Partition claims into CRF connected components (§5.1).
+
+        Two claims are connected when they share a source (sharing a
+        document implies sharing its source, so source-sharing subsumes
+        document-sharing).  Returns a list of arrays of claim indices;
+        singleton components are included.
+        """
+        parent = np.arange(self.num_claims, dtype=np.intp)
+
+        def find(node: int) -> int:
+            root = node
+            while parent[root] != root:
+                root = parent[root]
+            while parent[node] != root:
+                parent[node], node = root, parent[node]
+            return root
+
+        for claim_indices in self._source_claims:
+            if claim_indices.size < 2:
+                continue
+            first = find(int(claim_indices[0]))
+            for other in claim_indices[1:]:
+                parent[find(int(other))] = first
+
+        groups: Dict[int, List[int]] = {}
+        for claim in range(self.num_claims):
+            groups.setdefault(find(claim), []).append(claim)
+        return [np.asarray(members, dtype=np.intp) for members in groups.values()]
+
+    # ------------------------------------------------------------------
+    # Probabilistic state: P, C^L, C^U
+    # ------------------------------------------------------------------
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Read-only view of ``P(c)`` for every claim, in index order."""
+        view = self._probabilities.view()
+        view.flags.writeable = False
+        return view
+
+    def probability(self, claim_index: int) -> float:
+        """``P(c)`` for the claim at ``claim_index``."""
+        return float(self._probabilities[claim_index])
+
+    def set_probabilities(self, values: np.ndarray) -> None:
+        """Replace ``P`` for all claims; labelled claims keep their labels.
+
+        Inference writes its marginal estimates here (Eq. 7); labels are
+        re-imposed so user input always dominates (§3.2).
+        """
+        values = np.asarray(values, dtype=float)
+        if values.shape != self._probabilities.shape:
+            raise DataModelError(
+                f"expected {self._probabilities.shape[0]} probabilities, "
+                f"got shape {values.shape}"
+            )
+        if np.any((values < 0) | (values > 1)) or not np.all(np.isfinite(values)):
+            raise DataModelError("probabilities must lie in [0, 1]")
+        self._probabilities = values.copy()
+        for claim_idx, label in self._labels.items():
+            self._probabilities[claim_idx] = float(label)
+
+    def label(self, claim_index: int, value: int) -> None:
+        """Record user input for a claim: credible (1) or non-credible (0).
+
+        Sets ``P(c)`` to the label value and moves the claim from C^U to
+        C^L.  Re-labelling an already labelled claim is permitted — the
+        robustness check of §5.2 repairs suspected mistakes this way.
+        """
+        if value not in (0, 1):
+            raise DataModelError(f"label must be 0 or 1, got {value!r}")
+        if not 0 <= claim_index < self.num_claims:
+            raise DataModelError(f"claim index {claim_index} out of range")
+        self._labels[claim_index] = int(value)
+        self._probabilities[claim_index] = float(value)
+
+    def unlabel(self, claim_index: int) -> None:
+        """Remove the user label for a claim, returning it to C^U.
+
+        Used by cross-validation (§6.1) and the robustness check (§5.2),
+        which re-infer while holding out some labels.  The probability is
+        reset to the database prior.
+        """
+        if claim_index in self._labels:
+            del self._labels[claim_index]
+            self._probabilities[claim_index] = self._prior
+
+    def label_of(self, claim_index: int) -> Optional[int]:
+        """User label for the claim, or ``None`` when unlabelled."""
+        return self._labels.get(claim_index)
+
+    @property
+    def labels(self) -> Mapping[int, int]:
+        """All user labels, keyed by claim index."""
+        return dict(self._labels)
+
+    @property
+    def labelled_indices(self) -> np.ndarray:
+        """C^L as a sorted array of claim indices."""
+        return np.asarray(sorted(self._labels), dtype=np.intp)
+
+    @property
+    def unlabelled_indices(self) -> np.ndarray:
+        """C^U as a sorted array of claim indices."""
+        mask = np.ones(self.num_claims, dtype=bool)
+        if self._labels:
+            mask[list(self._labels)] = False
+        return np.flatnonzero(mask)
+
+    @property
+    def num_labelled(self) -> int:
+        """|C^L|, the number of user-validated claims."""
+        return len(self._labels)
+
+    def is_labelled(self, claim_index: int) -> bool:
+        """Whether the claim has received user input."""
+        return claim_index in self._labels
+
+    # ------------------------------------------------------------------
+    # Copying
+    # ------------------------------------------------------------------
+
+    def clone_state(self) -> "FactDatabaseState":
+        """Snapshot the mutable state (probabilities and labels)."""
+        return FactDatabaseState(
+            probabilities=self._probabilities.copy(), labels=dict(self._labels)
+        )
+
+    def restore_state(self, state: "FactDatabaseState") -> None:
+        """Restore a snapshot taken with :meth:`clone_state`."""
+        if state.probabilities.shape != self._probabilities.shape:
+            raise DataModelError("state snapshot does not match this database")
+        self._probabilities = state.probabilities.copy()
+        self._labels = dict(state.labels)
+
+    # ------------------------------------------------------------------
+    # Ground truth (simulation only)
+    # ------------------------------------------------------------------
+
+    def truth_vector(self) -> np.ndarray:
+        """Ground-truth credibility of all claims as a 0/1 array.
+
+        Raises:
+            DataModelError: If any claim lacks a ground-truth label.  Only
+                simulated-user oracles and evaluation metrics call this.
+        """
+        values = np.empty(self.num_claims, dtype=np.int8)
+        for index, claim in enumerate(self._claims):
+            if claim.truth is None:
+                raise DataModelError(
+                    f"claim {claim.claim_id!r} has no ground-truth label"
+                )
+            values[index] = 1 if claim.truth else 0
+        return values
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FactDatabase(sources={self.num_sources}, "
+            f"documents={self.num_documents}, claims={self.num_claims}, "
+            f"cliques={self.num_cliques}, labelled={self.num_labelled})"
+        )
+
+
+@dataclass
+class FactDatabaseState:
+    """Snapshot of the mutable part of a :class:`FactDatabase`."""
+
+    probabilities: np.ndarray
+    labels: Dict[int, int]
+
+
+def _index_unique(ids: Iterable[str], kind: str) -> Dict[str, int]:
+    """Map identifiers to dense indices, rejecting duplicates."""
+    mapping: Dict[str, int] = {}
+    for position, identifier in enumerate(ids):
+        if identifier in mapping:
+            raise DataModelError(f"duplicate {kind} identifier {identifier!r}")
+        mapping[identifier] = position
+    return mapping
+
+
+def _stack_features(vectors: List[np.ndarray], kind: str) -> np.ndarray:
+    """Stack per-entity feature vectors into a dense matrix."""
+    if not vectors:
+        return np.zeros((0, 0), dtype=float)
+    width = vectors[0].shape[0]
+    for vector in vectors:
+        if vector.shape[0] != width:
+            raise DataModelError(
+                f"all {kind} feature vectors must share one dimensionality"
+            )
+    return np.vstack(vectors) if width else np.zeros((len(vectors), 0), dtype=float)

@@ -1,0 +1,152 @@
+"""Entities of the fact-checking setting (§2.1): sources, documents, claims.
+
+A *source* (website, forum user, news provider) publishes *documents*
+(web pages, posts, tweets); each document references one or more *claims*
+with a :class:`~repro.data.stance.Stance`.  Entities are immutable value
+objects; all mutable state (credibility probabilities, user labels) lives in
+:class:`repro.data.database.FactDatabase`.
+
+Feature vectors follow §8.1 of the paper: source features are
+trustworthiness indicators (centrality scores for websites, activity
+statistics for forum users) and document features are language-quality
+indicators (stylistic and affective scores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.data.stance import Stance
+from repro.errors import DataModelError
+
+
+def _as_feature_vector(values) -> np.ndarray:
+    """Coerce ``values`` into an immutable 1-D float vector."""
+    vector = np.asarray(values, dtype=float)
+    if vector.ndim != 1:
+        raise DataModelError(
+            f"feature vector must be one-dimensional, got shape {vector.shape}"
+        )
+    if not np.all(np.isfinite(vector)):
+        raise DataModelError("feature vector must contain only finite values")
+    vector = vector.copy()
+    vector.setflags(write=False)
+    return vector
+
+
+@dataclass(frozen=True)
+class Source:
+    """A provider of documents, with trustworthiness features f^S (§3.1).
+
+    Attributes:
+        source_id: Unique identifier, e.g. a domain name or user handle.
+        features: Vector ``<f_1^S(s), ..., f_mS^S(s)>`` of source features.
+        metadata: Free-form annotations (never used by algorithms).
+    """
+
+    source_id: str
+    features: np.ndarray
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.source_id:
+            raise DataModelError("source_id must be a non-empty string")
+        object.__setattr__(self, "features", _as_feature_vector(self.features))
+
+    @property
+    def num_features(self) -> int:
+        """Dimensionality m_S of the source feature vector."""
+        return int(self.features.shape[0])
+
+
+@dataclass(frozen=True)
+class ClaimLink:
+    """A reference from a document to a claim, with a stance."""
+
+    claim_id: str
+    stance: Stance = Stance.SUPPORT
+
+    def __post_init__(self) -> None:
+        if not self.claim_id:
+            raise DataModelError("claim_id must be a non-empty string")
+        if not isinstance(self.stance, Stance):
+            raise DataModelError(f"stance must be a Stance, got {self.stance!r}")
+
+
+@dataclass(frozen=True)
+class Document:
+    """A textual item published by a source, with language features f^D.
+
+    Attributes:
+        document_id: Unique identifier.
+        source_id: Identifier of the publishing source.
+        features: Vector ``<f_1^D(d), ..., f_mD^D(d)>`` of document features.
+        claim_links: Claims referenced by this document, with stances.
+        metadata: Free-form annotations (never used by algorithms).
+    """
+
+    document_id: str
+    source_id: str
+    features: np.ndarray
+    claim_links: Tuple[ClaimLink, ...] = ()
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.document_id:
+            raise DataModelError("document_id must be a non-empty string")
+        if not self.source_id:
+            raise DataModelError("source_id must be a non-empty string")
+        object.__setattr__(self, "features", _as_feature_vector(self.features))
+        links = tuple(self.claim_links)
+        seen = set()
+        for link in links:
+            if not isinstance(link, ClaimLink):
+                raise DataModelError(f"claim_links must hold ClaimLink, got {link!r}")
+            if link.claim_id in seen:
+                raise DataModelError(
+                    f"document {self.document_id!r} links claim "
+                    f"{link.claim_id!r} more than once"
+                )
+            seen.add(link.claim_id)
+        object.__setattr__(self, "claim_links", links)
+
+    @property
+    def num_features(self) -> int:
+        """Dimensionality m_D of the document feature vector."""
+        return int(self.features.shape[0])
+
+    @property
+    def claim_ids(self) -> Tuple[str, ...]:
+        """Identifiers of all claims referenced by this document."""
+        return tuple(link.claim_id for link in self.claim_links)
+
+
+@dataclass(frozen=True)
+class Claim:
+    """A candidate fact whose credibility is to be assessed (§2.1).
+
+    The credibility of a claim is a binary random variable; its probability
+    lives in the fact database, not here.  ``truth`` is the hidden ground
+    truth used exclusively by simulated users and evaluation metrics — the
+    inference and guidance algorithms never read it.
+
+    Attributes:
+        claim_id: Unique identifier.
+        text: Optional surface form of the claim.
+        truth: Hidden ground-truth credibility (``None`` when unknown).
+        metadata: Free-form annotations (never used by algorithms).
+    """
+
+    claim_id: str
+    text: str = ""
+    truth: Optional[bool] = None
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.claim_id:
+            raise DataModelError("claim_id must be a non-empty string")
+        if self.truth is not None and not isinstance(self.truth, bool):
+            raise DataModelError(f"truth must be bool or None, got {self.truth!r}")

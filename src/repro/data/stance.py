@@ -1,0 +1,42 @@
+"""Document stances towards claims (§3.1, "Handling opposing stances").
+
+A document may *support* or *refute* a claim.  The paper models refutation
+through an opposing variable ``¬c`` per claim, tied to ``c`` by the
+non-equality constraint of Eq. 3: a refuting document connects to ``¬c``
+instead of ``c``.  Because ``¬c`` is a deterministic function of ``c``
+(``¬c = 1 - c``), the constraint is equivalent to flipping the sign of the
+clique's evidence, which is how :mod:`repro.crf` realises it.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Stance(enum.Enum):
+    """Orientation of a document towards a claim."""
+
+    SUPPORT = 1
+    REFUTE = -1
+
+    @property
+    def sign(self) -> int:
+        """``+1`` for support, ``-1`` for refutation.
+
+        This sign multiplies the clique evidence in the CRF, implementing
+        the opposing-variable construction of Eq. 3.
+        """
+        return self.value
+
+    def flipped(self) -> "Stance":
+        """The opposite stance."""
+        return Stance.REFUTE if self is Stance.SUPPORT else Stance.SUPPORT
+
+    @classmethod
+    def from_sign(cls, sign: int) -> "Stance":
+        """Build a stance from a ``+1`` / ``-1`` sign."""
+        if sign == 1:
+            return cls.SUPPORT
+        if sign == -1:
+            return cls.REFUTE
+        raise ValueError(f"stance sign must be +1 or -1, got {sign!r}")

@@ -1,0 +1,128 @@
+"""Serialisation of fact databases to and from JSON.
+
+Round-tripping a generated corpus to disk lets experiments pin an exact
+dataset and lets downstream users plug in their own corpora: any data that
+can be expressed as sources, documents (with stance-bearing claim links)
+and claims can be loaded into the framework through this format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.data.database import FactDatabase
+from repro.data.entities import Claim, ClaimLink, Document, Source
+from repro.data.stance import Stance
+from repro.errors import DatasetError
+
+#: Format version written into every file; bumped on breaking changes.
+FORMAT_VERSION = 1
+
+
+def database_to_dict(database: FactDatabase) -> dict:
+    """Render a fact database as a JSON-compatible dictionary.
+
+    Only the immutable structure is serialised; probabilities and labels
+    are run-time state and are intentionally excluded.
+    """
+    return {
+        "version": FORMAT_VERSION,
+        "prior": database.prior,
+        "sources": [
+            {
+                "id": source.source_id,
+                "features": source.features.tolist(),
+                "metadata": dict(source.metadata),
+            }
+            for source in database.sources
+        ],
+        "documents": [
+            {
+                "id": document.document_id,
+                "source": document.source_id,
+                "features": document.features.tolist(),
+                "claims": [
+                    {"id": link.claim_id, "stance": link.stance.name}
+                    for link in document.claim_links
+                ],
+                "metadata": dict(document.metadata),
+            }
+            for document in database.documents
+        ],
+        "claims": [
+            {
+                "id": claim.claim_id,
+                "text": claim.text,
+                "truth": claim.truth,
+                "metadata": dict(claim.metadata),
+            }
+            for claim in database.claims
+        ],
+    }
+
+
+def database_from_dict(payload: dict) -> FactDatabase:
+    """Reconstruct a fact database from :func:`database_to_dict` output."""
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise DatasetError(
+            f"unsupported fact-database format version {version!r}; "
+            f"expected {FORMAT_VERSION}"
+        )
+    try:
+        sources = [
+            Source(
+                source_id=entry["id"],
+                features=entry["features"],
+                metadata=entry.get("metadata", {}),
+            )
+            for entry in payload["sources"]
+        ]
+        documents = [
+            Document(
+                document_id=entry["id"],
+                source_id=entry["source"],
+                features=entry["features"],
+                claim_links=tuple(
+                    ClaimLink(claim_id=link["id"], stance=Stance[link["stance"]])
+                    for link in entry["claims"]
+                ),
+                metadata=entry.get("metadata", {}),
+            )
+            for entry in payload["documents"]
+        ]
+        claims = [
+            Claim(
+                claim_id=entry["id"],
+                text=entry.get("text", ""),
+                truth=entry.get("truth"),
+                metadata=entry.get("metadata", {}),
+            )
+            for entry in payload["claims"]
+        ]
+    except (KeyError, TypeError) as exc:
+        raise DatasetError(f"malformed fact-database payload: {exc}") from exc
+    return FactDatabase(
+        sources=sources,
+        documents=documents,
+        claims=claims,
+        prior=payload.get("prior", 0.5),
+    )
+
+
+def save_database(database: FactDatabase, path: Union[str, Path]) -> None:
+    """Write a fact database to ``path`` as JSON."""
+    path = Path(path)
+    payload = database_to_dict(database)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def load_database(path: Union[str, Path]) -> FactDatabase:
+    """Read a fact database previously written by :func:`save_database`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return database_from_dict(payload)

@@ -1,0 +1,168 @@
+"""Published statistics of the paper's evaluation corpora (§8.1).
+
+The original corpora (Wikipedia hoaxes, healthboards.com drug side-effects,
+Snopes) were distributed via MPI resource archives that are not available
+offline.  We therefore regenerate *synthetic replicas* whose structure
+matches the published statistics.  A :class:`DatasetProfile` records those
+statistics plus the generative knobs (source-reliability mixture, claim
+popularity skew, documents per claim) used by
+:mod:`repro.datasets.generator`.
+
+``scale`` in the generator shrinks all entity counts proportionally so unit
+tests and benchmarks stay fast; ``scale=1.0`` reproduces the full published
+sizes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import DatasetError
+
+
+class SourceKind(enum.Enum):
+    """What a source is, which decides its feature set (§8.1).
+
+    Websites get centrality features (PageRank, HITS); forum authors get
+    personal/activity features (age, gender, post counts).
+    """
+
+    WEBSITE = "website"
+    FORUM_USER = "forum_user"
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Shape parameters of one evaluation corpus.
+
+    Attributes:
+        name: Short dataset key used throughout the experiments
+            (``"wiki"``, ``"health"``, ``"snopes"``).
+        num_sources / num_documents / num_claims: Published entity counts.
+        credible_ratio: Fraction of claims whose ground truth is *credible*.
+        untrustworthy_ratio: Fraction of sources drawn from the unreliable
+            mixture component.
+        source_kind: Which feature extractor applies to sources.
+        claims_per_document_mean: Average number of claim links per document
+            ("each often ... involving a few claims", §2.1).
+        claim_popularity_exponent: Zipf exponent of the claim-popularity
+            distribution (some claims are referenced by many documents).
+        source_activity_exponent: Zipf exponent of documents-per-source.
+        reliability_strength: Beta concentration of the reliability mixture;
+            higher values separate trustworthy and untrustworthy sources
+            more sharply.
+        ambiguity_alpha / ambiguity_beta: Beta parameters of the per-claim
+            *difficulty*.  A claim with difficulty d attenuates every
+            source's discriminative power by (1 - d): at d = 1 even
+            perfectly reliable sources take a coin-flip stance.  This
+            models the paper's motivating observation that some facts
+            "cannot easily be inferred" from Web evidence and caps the
+            precision automated inference can reach without user input.
+        stance_noise: Probability that a document's stance is random —
+            extraction noise of the claim-document linking pipeline.
+    """
+
+    name: str
+    num_sources: int
+    num_documents: int
+    num_claims: int
+    credible_ratio: float
+    untrustworthy_ratio: float
+    source_kind: SourceKind
+    claims_per_document_mean: float = 1.6
+    claim_popularity_exponent: float = 1.1
+    source_activity_exponent: float = 1.3
+    reliability_strength: float = 6.0
+    ambiguity_alpha: float = 0.6
+    ambiguity_beta: float = 1.4
+    stance_noise: float = 0.10
+
+    def __post_init__(self) -> None:
+        if min(self.num_sources, self.num_documents, self.num_claims) <= 0:
+            raise DatasetError("entity counts must be positive")
+        if not 0.0 < self.credible_ratio < 1.0:
+            raise DatasetError(
+                f"credible_ratio must be in (0, 1), got {self.credible_ratio}"
+            )
+        if not 0.0 <= self.untrustworthy_ratio < 1.0:
+            raise DatasetError(
+                f"untrustworthy_ratio must be in [0, 1), got "
+                f"{self.untrustworthy_ratio}"
+            )
+        if self.claims_per_document_mean < 1.0:
+            raise DatasetError("documents must reference at least one claim")
+
+    def scaled(self, scale: float) -> "DatasetProfile":
+        """Return a copy with entity counts multiplied by ``scale``.
+
+        Counts are floored at small minimums that keep the generative
+        process well-defined (at least 4 claims, 6 documents, 3 sources).
+        """
+        if scale <= 0:
+            raise DatasetError(f"scale must be positive, got {scale!r}")
+        return DatasetProfile(
+            name=self.name,
+            num_sources=max(3, round(self.num_sources * scale)),
+            num_documents=max(6, round(self.num_documents * scale)),
+            num_claims=max(4, round(self.num_claims * scale)),
+            credible_ratio=self.credible_ratio,
+            untrustworthy_ratio=self.untrustworthy_ratio,
+            source_kind=self.source_kind,
+            claims_per_document_mean=self.claims_per_document_mean,
+            claim_popularity_exponent=self.claim_popularity_exponent,
+            source_activity_exponent=self.source_activity_exponent,
+            reliability_strength=self.reliability_strength,
+            ambiguity_alpha=self.ambiguity_alpha,
+            ambiguity_beta=self.ambiguity_beta,
+            stance_noise=self.stance_noise,
+        )
+
+
+#: Wikipedia hoaxes and fictitious people (§8.1): 1955 sources, 3228
+#: documents, 157 labelled claims.  Hoax-heavy, so fewer than half of the
+#: claims are credible.
+WIKIPEDIA = DatasetProfile(
+    name="wiki",
+    num_sources=1955,
+    num_documents=3228,
+    num_claims=157,
+    credible_ratio=0.40,
+    untrustworthy_ratio=0.30,
+    source_kind=SourceKind.WEBSITE,
+)
+
+#: Healthcare forum (healthboards.com, §8.1): 11206 users, 48083 documents,
+#: 529 expert-labelled claims about drug side effects.
+HEALTHCARE = DatasetProfile(
+    name="health",
+    num_sources=11206,
+    num_documents=48083,
+    num_claims=529,
+    credible_ratio=0.55,
+    untrustworthy_ratio=0.35,
+    source_kind=SourceKind.FORUM_USER,
+)
+
+#: Snopes (§8.1): 23260 sources, 80421 documents, 4856 labelled claims.
+#: Snopes debunks rumours, so most catalogued claims are not credible.
+SNOPES = DatasetProfile(
+    name="snopes",
+    num_sources=23260,
+    num_documents=80421,
+    num_claims=4856,
+    credible_ratio=0.35,
+    untrustworthy_ratio=0.40,
+    source_kind=SourceKind.WEBSITE,
+)
+
+PROFILES = {profile.name: profile for profile in (WIKIPEDIA, HEALTHCARE, SNOPES)}
+
+
+def get_profile(name: str) -> DatasetProfile:
+    """Look up a built-in profile by dataset key."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise DatasetError(f"unknown dataset {name!r}; known: {known}") from None

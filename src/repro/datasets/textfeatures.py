@@ -1,0 +1,135 @@
+"""Linguistic document features and forum-user source features (§8.1).
+
+The paper assesses document language quality "using common linguistic
+features such as stylistic indicators (e.g., use of modals, inferential
+conjunction) and affective indicators (e.g., sentiments, thematic words)".
+Without the original texts we simulate the *scores* of those indicators as
+noisy functions of the latent language quality the generator assigns to
+each document; the inference code consumes only the scores, so its code
+paths are identical to the paper's.
+
+Forum-user sources get "personal information (age, gender) and activity
+logs (number of posts)".
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+
+#: Column names of the document-feature matrix.
+DOCUMENT_FEATURE_NAMES: Tuple[str, ...] = (
+    "stylistic_modality",
+    "inferential_conjunctions",
+    "objectivity",
+    "sentiment_extremity",
+    "thematic_coherence",
+    "readability",
+)
+
+#: Column names of the forum-user source-feature matrix.
+FORUM_USER_FEATURE_NAMES: Tuple[str, ...] = (
+    "account_age",
+    "gender_indicator",
+    "log_post_count",
+    "avg_thread_depth",
+    "karma",
+)
+
+
+def document_features(
+    quality: np.ndarray,
+    seed: RandomState = None,
+    noise_scale: float = 0.2,
+) -> np.ndarray:
+    """Simulate linguistic indicator scores for documents.
+
+    Stylistic and objectivity indicators increase with latent quality;
+    sentiment extremity decreases (low-quality, sensational documents carry
+    extreme sentiment).  All columns carry independent Gaussian noise, so
+    no single feature fully reveals the latent quality.
+
+    Args:
+        quality: Latent language quality in [0, 1] per document.
+        seed: Seed or generator.
+        noise_scale: Standard deviation of the indicator noise.
+
+    Returns:
+        Matrix of shape ``(num_documents, 6)`` following
+        :data:`DOCUMENT_FEATURE_NAMES`.
+    """
+    rng = ensure_rng(seed)
+    quality = np.asarray(quality, dtype=float)
+    count = quality.size
+    if count == 0:
+        return np.zeros((0, len(DOCUMENT_FEATURE_NAMES)))
+
+    def noisy(signal: np.ndarray) -> np.ndarray:
+        return signal + rng.normal(0.0, noise_scale, size=count)
+
+    stylistic = noisy(quality)
+    inferential = noisy(0.8 * quality)
+    objectivity = noisy(quality)
+    sentiment_extremity = noisy(1.0 - quality)
+    thematic = noisy(0.6 * quality + 0.2)
+    readability = noisy(0.5 * quality + 0.25)
+    features = np.column_stack(
+        [stylistic, inferential, objectivity, sentiment_extremity, thematic,
+         readability]
+    )
+    return _standardise_columns(features)
+
+
+def forum_user_features(
+    reliability: np.ndarray,
+    post_counts: np.ndarray,
+    seed: RandomState = None,
+    noise_scale: float = 0.2,
+) -> np.ndarray:
+    """Simulate forum-user features: personal information and activity logs.
+
+    ``account_age`` and ``karma`` correlate with reliability, the activity
+    features derive from the actual number of generated posts, and the
+    gender indicator is pure noise (present in the paper's feature list but
+    uninformative by construction — a realistic distractor feature).
+
+    Args:
+        reliability: Latent reliability in [0, 1] per user.
+        post_counts: Number of documents each user authored.
+        seed: Seed or generator.
+        noise_scale: Standard deviation of the feature noise.
+
+    Returns:
+        Matrix of shape ``(num_users, 5)`` following
+        :data:`FORUM_USER_FEATURE_NAMES`.
+    """
+    rng = ensure_rng(seed)
+    reliability = np.asarray(reliability, dtype=float)
+    post_counts = np.asarray(post_counts, dtype=float)
+    if reliability.shape != post_counts.shape:
+        raise ValueError("reliability and post_counts must align")
+    count = reliability.size
+    if count == 0:
+        return np.zeros((0, len(FORUM_USER_FEATURE_NAMES)))
+
+    account_age = reliability + rng.normal(0.0, noise_scale, size=count)
+    gender = rng.integers(0, 2, size=count).astype(float)
+    log_posts = np.log1p(post_counts)
+    thread_depth = 0.3 * reliability + rng.normal(0.0, noise_scale, size=count)
+    karma = 0.8 * reliability + 0.1 * log_posts
+    karma = karma + rng.normal(0.0, noise_scale, size=count)
+    features = np.column_stack(
+        [account_age, gender, log_posts, thread_depth, karma]
+    )
+    return _standardise_columns(features)
+
+
+def _standardise_columns(matrix: np.ndarray) -> np.ndarray:
+    """Scale every column to zero mean and unit variance."""
+    centred = matrix - matrix.mean(axis=0, keepdims=True)
+    std = centred.std(axis=0, keepdims=True)
+    std[std <= 1e-12] = 1.0
+    return centred / std

@@ -1,0 +1,140 @@
+"""Web-graph centrality features for website sources (§8.1).
+
+The paper derives source features for websites from "centrality scores such
+as PageRank and HITS".  We regenerate that pipeline: a synthetic hyperlink
+graph is grown over the sources with preferential attachment, biased so
+that reliable sites accumulate more in-links (a well-supported empirical
+assumption the paper's feature choice relies on), and the real PageRank and
+HITS algorithms (via :mod:`networkx`) produce the feature values.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+
+#: Column names of the website source-feature matrix.
+WEBSITE_FEATURE_NAMES: Tuple[str, ...] = (
+    "pagerank",
+    "hits_authority",
+    "hits_hub",
+    "in_degree",
+    "domain_age",
+)
+
+
+def build_hyperlink_graph(
+    reliability: np.ndarray,
+    out_degree: int = 5,
+    reliability_bias: float = 3.0,
+    seed: RandomState = None,
+) -> nx.DiGraph:
+    """Grow a directed hyperlink graph over sources.
+
+    Each node emits up to ``out_degree`` links; targets are sampled with
+    probability proportional to ``1 + bias * reliability(target)`` times the
+    target's current in-degree (preferential attachment).  The resulting
+    degree distribution is heavy-tailed, like real web graphs.
+
+    Args:
+        reliability: Latent reliability in [0, 1] per source.
+        out_degree: Links emitted per node.
+        reliability_bias: How strongly links prefer reliable targets.
+        seed: Seed or generator.
+
+    Returns:
+        A directed graph with nodes ``0 .. len(reliability) - 1``.
+    """
+    rng = ensure_rng(seed)
+    reliability = np.asarray(reliability, dtype=float)
+    count = reliability.size
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(count))
+    if count < 2:
+        return graph
+
+    in_degree = np.ones(count)
+    attractiveness = 1.0 + reliability_bias * reliability
+    for node in range(count):
+        weights = attractiveness * in_degree
+        weights[node] = 0.0
+        total = weights.sum()
+        if total <= 0:
+            continue
+        k = min(out_degree, count - 1)
+        targets = rng.choice(count, size=k, replace=False, p=weights / total)
+        for target in targets:
+            graph.add_edge(node, int(target))
+            in_degree[target] += 1.0
+    return graph
+
+
+def website_features(
+    reliability: np.ndarray,
+    seed: RandomState = None,
+    noise_scale: float = 0.15,
+) -> np.ndarray:
+    """Compute the website source-feature matrix.
+
+    Columns follow :data:`WEBSITE_FEATURE_NAMES`: PageRank and HITS scores
+    from a reliability-biased hyperlink graph (standardised), log in-degree,
+    and a noisy "domain age" indicator correlated with reliability.
+
+    Args:
+        reliability: Latent reliability in [0, 1] per source.
+        seed: Seed or generator.
+        noise_scale: Standard deviation of the feature noise.
+
+    Returns:
+        Matrix of shape ``(num_sources, 5)``.
+    """
+    rng = ensure_rng(seed)
+    reliability = np.asarray(reliability, dtype=float)
+    count = reliability.size
+    if count == 0:
+        return np.zeros((0, len(WEBSITE_FEATURE_NAMES)))
+
+    graph = build_hyperlink_graph(reliability, seed=rng)
+    pagerank = _node_scores(nx.pagerank(graph, alpha=0.85), count)
+    try:
+        hubs, authorities = nx.hits(graph, max_iter=500, normalized=True)
+    except nx.PowerIterationFailedConvergence:  # pragma: no cover - rare
+        hubs = {node: 1.0 / count for node in graph}
+        authorities = dict(hubs)
+    hub_scores = _node_scores(hubs, count)
+    authority_scores = _node_scores(authorities, count)
+    in_degree = np.array([graph.in_degree(node) for node in range(count)], dtype=float)
+
+    domain_age = np.clip(
+        reliability + rng.normal(0.0, noise_scale, size=count), 0.0, 1.5
+    )
+    features = np.column_stack(
+        [
+            _standardise(pagerank),
+            _standardise(authority_scores),
+            _standardise(hub_scores),
+            _standardise(np.log1p(in_degree)),
+            _standardise(domain_age),
+        ]
+    )
+    return features
+
+
+def _node_scores(scores: dict, count: int) -> np.ndarray:
+    """Dense array of per-node scores, zero for missing nodes."""
+    dense = np.zeros(count)
+    for node, score in scores.items():
+        dense[node] = score
+    return dense
+
+
+def _standardise(values: np.ndarray) -> np.ndarray:
+    """Zero-mean, unit-variance scaling (constant columns become zero)."""
+    std = values.std()
+    if std <= 1e-12:
+        return np.zeros_like(values)
+    return (values - values.mean()) / std

@@ -1,0 +1,45 @@
+"""Effort-reduction methods (§6): early termination, batching, cost model."""
+
+from repro.effort.batching import (
+    BatchSelection,
+    batch_utility,
+    correlation_matrix,
+    exact_batch_gain,
+    exhaustive_topk_selection,
+    greedy_topk_selection,
+)
+from repro.effort.cost import cost_saving, dynamic_batch_size, precision_degradation
+from repro.effort.crossval import estimate_precision
+from repro.effort.termination import (
+    GroundingChangeCriterion,
+    PrecisionImprovementCriterion,
+    TerminationCriterion,
+    UncertaintyReductionCriterion,
+    ValidatedPredictionCriterion,
+    cng_series,
+    pir_series,
+    pre_series,
+    urr_series,
+)
+
+__all__ = [
+    "BatchSelection",
+    "GroundingChangeCriterion",
+    "PrecisionImprovementCriterion",
+    "TerminationCriterion",
+    "UncertaintyReductionCriterion",
+    "ValidatedPredictionCriterion",
+    "batch_utility",
+    "cng_series",
+    "correlation_matrix",
+    "cost_saving",
+    "dynamic_batch_size",
+    "estimate_precision",
+    "exact_batch_gain",
+    "exhaustive_topk_selection",
+    "greedy_topk_selection",
+    "pir_series",
+    "pre_series",
+    "precision_degradation",
+    "urr_series",
+]

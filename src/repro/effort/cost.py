@@ -1,0 +1,76 @@
+"""Set-up cost model of batch validation (§8.7).
+
+The paper captures the user-cost saving of validating batches of size k as
+
+    CS(k) = 1 - 1 / k^α
+
+where α (the "rail factor") controls how strongly larger batches amortise
+the per-domain familiarisation cost; the functional form covers both
+linear and non-linear cost models.
+"""
+
+from __future__ import annotations
+
+from repro.utils.checks import check_positive, check_positive_int
+
+
+def cost_saving(batch_size: int, alpha: float) -> float:
+    """CS(k) = 1 - 1/k^α, in [0, 1) for k ≥ 1.
+
+    Args:
+        batch_size: Batch size k ≥ 1.
+        alpha: Rail factor α > 0.
+    """
+    batch_size = check_positive_int(batch_size, "batch_size")
+    alpha = check_positive(alpha, "alpha")
+    return 1.0 - 1.0 / (batch_size**alpha)
+
+
+def precision_degradation(precision_unbatched: float, precision_batched: float) -> float:
+    """Relative precision loss of batching (Fig. 10's y-axis).
+
+    ``(P_unbatched - P_batched) / P_unbatched``, clipped below at 0.
+    """
+    if not 0.0 < precision_unbatched <= 1.0:
+        raise ValueError(
+            f"precision_unbatched must be in (0, 1], got {precision_unbatched!r}"
+        )
+    if not 0.0 <= precision_batched <= 1.0:
+        raise ValueError(
+            f"precision_batched must be in [0, 1], got {precision_batched!r}"
+        )
+    return max((precision_unbatched - precision_batched) / precision_unbatched, 0.0)
+
+
+def dynamic_batch_size(
+    labelled_fraction: float,
+    initial: int = 1,
+    maximum: int = 20,
+    growth_point: float = 0.2,
+) -> int:
+    """Heuristic dynamic batch-size schedule suggested by §8.7.
+
+    "Initially, a small k shall be used, which is increased once a
+    sufficient amount of claims has been validated."  The schedule keeps
+    ``initial`` until ``growth_point`` of the claims are labelled, then
+    grows linearly to ``maximum`` at full effort.
+
+    Args:
+        labelled_fraction: h_i = fraction of claims already validated.
+        initial: Batch size before the growth point.
+        maximum: Batch size approached at 100% effort.
+        growth_point: Fraction of labelled claims at which growth starts.
+    """
+    if not 0.0 <= labelled_fraction <= 1.0:
+        raise ValueError(
+            f"labelled_fraction must be in [0, 1], got {labelled_fraction!r}"
+        )
+    initial = check_positive_int(initial, "initial")
+    maximum = check_positive_int(maximum, "maximum")
+    if maximum < initial:
+        raise ValueError("maximum must be at least the initial batch size")
+    if labelled_fraction <= growth_point:
+        return initial
+    span = 1.0 - growth_point
+    progress = (labelled_fraction - growth_point) / span if span > 0 else 1.0
+    return int(round(initial + progress * (maximum - initial)))

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the ``repro`` fact-checking framework.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can install a single ``except ReproError`` guard around framework
+calls without accidentally swallowing unrelated failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the framework."""
+
+
+class DataModelError(ReproError):
+    """A structural problem with sources, documents, or claims.
+
+    Raised, for example, when a document references an unknown source or
+    claim, or when identifiers collide.
+    """
+
+
+class InferenceError(ReproError):
+    """Credibility inference failed or was invoked on an invalid state."""
+
+
+class ConvergenceError(InferenceError):
+    """An iterative optimiser exhausted its iteration budget.
+
+    Carries the best iterate found so far in :attr:`last_value` so callers
+    may decide to continue with a sub-optimal result.
+    """
+
+    def __init__(self, message: str, last_value=None):
+        super().__init__(message)
+        self.last_value = last_value
+
+
+class GuidanceError(ReproError):
+    """A claim-selection strategy could not produce a candidate."""
+
+
+class ValidationProcessError(ReproError):
+    """The interactive validation process was misconfigured or misused."""
+
+
+class BudgetExhaustedError(ValidationProcessError):
+    """The user-effort budget was consumed before the goal was reached."""
+
+
+class StreamingError(ReproError):
+    """The streaming fact-checking pipeline received inconsistent input."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator or loader was given invalid parameters."""

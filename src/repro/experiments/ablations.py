@@ -1,0 +1,247 @@
+"""Ablation studies of the design choices called out in DESIGN.md.
+
+Four ablations isolate the contribution of individual mechanisms:
+
+* **coupling** — the indirect (source-consistency) relation of the CRF
+  on/off: without it the model degenerates to independent per-claim
+  logistic regression and user input stops propagating.
+* **aggregation** — the claim-evidence aggregation mode (sum / mean /
+  sqrt) of the clique featuriser.
+* **warm start** — persistence of the Gibbs chain and weights across
+  validation iterations (the "view maintenance" of iCRF, §3.2) versus
+  cold restarts.
+* **batch selection** — greedy submodular top-k versus the exhaustive
+  optimum of Eq. 28 (utility ratio and wall-clock cost).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.crf.partition import ComponentIndex
+from repro.effort.batching import (
+    exhaustive_topk_selection,
+    greedy_topk_selection,
+)
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.runner import ExperimentConfig, build_database
+from repro.guidance.gain import GainConfig, GainEstimator
+from repro.guidance.strategies import make_strategy
+from repro.inference.icrf import ICrf
+from repro.utils.rng import derive_rng, ensure_rng, spawn_rngs
+from repro.validation.oracle import SimulatedUser
+from repro.validation.process import ValidationProcess
+
+
+def coupling_ablation(
+    config: Optional[ExperimentConfig] = None,
+    dataset: str = "snopes",
+    effort_fraction: float = 0.3,
+) -> ExperimentResult:
+    """Precision at fixed effort with the indirect relation on and off."""
+    config = config if config is not None else ExperimentConfig()
+    result = ExperimentResult(
+        name="ablation_coupling",
+        title="Ablation — source-consistency coupling on/off",
+        headers=["dataset", "coupling", "initial_precision", "precision",
+                 "propagation"],
+        notes=(
+            "expected shape: coupling propagates user input (the "
+            "'propagation' column: mean |dP| of unlabelled claims per "
+            "validation) and improves precision at equal effort"
+        ),
+    )
+    for enabled in (True, False):
+        initials, finals, propagations = [], [], []
+        for seed in spawn_rngs(config.seed, config.runs):
+            rng = ensure_rng(seed)
+            database = build_database(dataset, config, rng)
+            icrf = ICrf(
+                database,
+                coupling_enabled=enabled,
+                em_iterations=config.em_iterations,
+                num_samples=config.gibbs_samples,
+                seed=derive_rng(rng, 0),
+            )
+            process = ValidationProcess(
+                database,
+                strategy=make_strategy("hybrid"),
+                user=SimulatedUser(seed=derive_rng(rng, 1)),
+                icrf=icrf,
+                candidate_limit=config.candidate_limit,
+                seed=derive_rng(rng, 2),
+            )
+            process.initialize()
+            initials.append(process.current_precision() or 0.0)
+            budget = int(round(effort_fraction * database.num_claims))
+            for _ in range(budget):
+                if database.unlabelled_indices.size == 0:
+                    break
+                unlabelled = database.unlabelled_indices
+                before = np.asarray(database.probabilities)[unlabelled].copy()
+                record = process.step()
+                still = np.asarray(
+                    [c for c in unlabelled if c not in record.claim_indices],
+                    dtype=np.intp,
+                )
+                if still.size:
+                    keep = np.isin(unlabelled, still)
+                    after = np.asarray(database.probabilities)[still]
+                    propagations.append(
+                        float(np.mean(np.abs(after - before[keep])))
+                    )
+            finals.append(process.current_precision() or 0.0)
+        result.add_row(
+            dataset,
+            "on" if enabled else "off",
+            float(np.mean(initials)),
+            float(np.mean(finals)),
+            float(np.mean(propagations)) if propagations else 0.0,
+        )
+    return result
+
+
+def aggregation_ablation(
+    config: Optional[ExperimentConfig] = None,
+    dataset: str = "snopes",
+    effort_fraction: float = 0.3,
+) -> ExperimentResult:
+    """Precision at fixed effort per claim-evidence aggregation mode."""
+    config = config if config is not None else ExperimentConfig()
+    result = ExperimentResult(
+        name="ablation_aggregation",
+        title="Ablation — claim-evidence aggregation mode",
+        headers=["dataset", "aggregation", "precision"],
+        notes="sum saturates on well-covered claims; sqrt is the default",
+    )
+    for mode in ("sum", "mean", "sqrt"):
+        finals = []
+        for seed in spawn_rngs(config.seed, config.runs):
+            rng = ensure_rng(seed)
+            database = build_database(dataset, config, rng)
+            icrf = ICrf(
+                database,
+                aggregation=mode,
+                em_iterations=config.em_iterations,
+                num_samples=config.gibbs_samples,
+                seed=derive_rng(rng, 0),
+            )
+            process = ValidationProcess(
+                database,
+                strategy=make_strategy("info"),
+                user=SimulatedUser(seed=derive_rng(rng, 1)),
+                icrf=icrf,
+                candidate_limit=config.candidate_limit,
+                seed=derive_rng(rng, 2),
+            )
+            process.initialize()
+            budget = int(round(effort_fraction * database.num_claims))
+            for _ in range(budget):
+                if database.unlabelled_indices.size == 0:
+                    break
+                process.step()
+            finals.append(process.current_precision() or 0.0)
+        result.add_row(dataset, mode, float(np.mean(finals)))
+    return result
+
+
+def warm_start_ablation(
+    config: Optional[ExperimentConfig] = None,
+    dataset: str = "wiki",
+    iterations: int = 10,
+) -> ExperimentResult:
+    """Per-iteration inference time and marginal churn warm vs. cold.
+
+    The cold variant resets the Gibbs chain before every inference call,
+    discarding the view-maintenance state of iCRF.
+    """
+    config = config if config is not None else ExperimentConfig()
+    result = ExperimentResult(
+        name="ablation_warm_start",
+        title="Ablation — warm vs. cold Gibbs chains (iCRF view maintenance)",
+        headers=["dataset", "chain", "avg_infer_seconds", "avg_marginal_delta"],
+        notes="warm chains re-converge faster after a single new label",
+    )
+    for warm in (True, False):
+        times, deltas = [], []
+        for seed in spawn_rngs(config.seed, config.runs):
+            rng = ensure_rng(seed)
+            database = build_database(dataset, config, rng)
+            truth = database.truth_vector()
+            icrf = ICrf(
+                database,
+                em_iterations=config.em_iterations,
+                num_samples=config.gibbs_samples,
+                seed=derive_rng(rng, 0),
+            )
+            icrf.infer()
+            order = derive_rng(rng, 1).permutation(database.num_claims)
+            for claim in order[:iterations]:
+                database.label(int(claim), int(truth[claim]))
+                if not warm:
+                    icrf.reset_chain()
+                started = time.perf_counter()
+                inference = icrf.infer()
+                times.append(time.perf_counter() - started)
+                deltas.append(inference.marginal_deltas[-1])
+        result.add_row(
+            dataset,
+            "warm" if warm else "cold",
+            float(np.mean(times)),
+            float(np.mean(deltas)),
+        )
+    return result
+
+
+def batch_selection_ablation(
+    config: Optional[ExperimentConfig] = None,
+    dataset: str = "wiki",
+    k: int = 3,
+    candidate_limit: int = 10,
+) -> ExperimentResult:
+    """Greedy top-k versus the exhaustive optimum of Eq. 28."""
+    config = config if config is not None else ExperimentConfig()
+    result = ExperimentResult(
+        name="ablation_batch_selection",
+        title="Ablation — greedy vs. exhaustive batch selection",
+        headers=["dataset", "selector", "utility", "seconds"],
+        notes=(
+            "greedy carries a (1 - 1/e) guarantee; in practice it is "
+            "near-optimal at a fraction of the cost"
+        ),
+    )
+    rng = ensure_rng(config.seed)
+    database = build_database(dataset, config, rng)
+    icrf = ICrf(
+        database,
+        em_iterations=config.em_iterations,
+        num_samples=config.gibbs_samples,
+        seed=derive_rng(rng, 0),
+    )
+    # A single E-step without weight updates: claims stay genuinely
+    # uncertain, so the information gains the selectors trade off are
+    # non-degenerate (after full EM convergence most gains vanish and
+    # every selector ties at zero utility).
+    icrf.infer(em_iterations=1, update_weights=False)
+    gains = GainEstimator(
+        icrf.model,
+        ComponentIndex(database),
+        config=GainConfig(),
+        seed=derive_rng(rng, 1),
+    )
+    started = time.perf_counter()
+    greedy = greedy_topk_selection(
+        database, gains, k=k, candidate_limit=candidate_limit
+    )
+    greedy_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    optimum = exhaustive_topk_selection(
+        database, gains, k=k, candidate_limit=candidate_limit
+    )
+    optimum_seconds = time.perf_counter() - started
+    result.add_row(dataset, "greedy", greedy.utility, greedy_seconds)
+    result.add_row(dataset, "exhaustive", optimum.utility, optimum_seconds)
+    return result

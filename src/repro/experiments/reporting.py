@@ -1,0 +1,96 @@
+"""Result containers and plain-text table rendering for experiments.
+
+Every experiment driver returns an :class:`ExperimentResult` whose rows
+mirror the corresponding table or figure series of the paper; benchmarks
+print them with :meth:`ExperimentResult.format_table` so the reproduction
+output can be compared with the publication side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """Tabular outcome of one experiment driver.
+
+    Attributes:
+        name: Experiment identifier (e.g. ``"fig6_guidance"``).
+        title: Human-readable title referencing the paper artifact.
+        headers: Column names.
+        rows: Data rows; cells may be numbers or strings.
+        notes: Free-form commentary (expected shape, caveats).
+    """
+
+    name: str
+    title: str
+    headers: List[str]
+    rows: List[List] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *cells) -> None:
+        """Append one row."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append(list(cells))
+
+    def column(self, header: str) -> List:
+        """All values of one column."""
+        try:
+            index = self.headers.index(header)
+        except ValueError:
+            raise KeyError(f"no column {header!r}; have {self.headers}") from None
+        return [row[index] for row in self.rows]
+
+    def format_table(self, float_digits: int = 3) -> str:
+        """Render as an aligned plain-text table."""
+        rendered = [[_render(cell, float_digits) for cell in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in rendered:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "-" * len(self.title)]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers)))
+        for row in rendered:
+            lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+        if self.notes:
+            lines.append("")
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+
+def _render(cell, float_digits: int) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return f"{cell:.{float_digits}f}"
+    return str(cell)
+
+
+def series_at_grid(
+    efforts: Sequence[float], values: Sequence[float], grid: Sequence[float]
+) -> List[float]:
+    """Sample a (monotone-effort) series at fixed effort grid points.
+
+    For each grid point, the value at the last observation with effort ≤
+    the point is taken (step interpolation); grid points before the first
+    observation take the first value.
+    """
+    if len(efforts) != len(values):
+        raise ValueError("efforts and values must align")
+    if not efforts:
+        raise ValueError("series is empty")
+    sampled: List[float] = []
+    for point in grid:
+        best = values[0]
+        for effort, value in zip(efforts, values):
+            if effort <= point:
+                best = value
+            else:
+                break
+        sampled.append(float(best))
+    return sampled

@@ -1,0 +1,39 @@
+"""User guidance (§4): uncertainty, information gains, selection strategies."""
+
+from repro.guidance.base import SelectionContext, SelectionStrategy
+from repro.guidance.gain import (
+    ENTROPY_METHODS,
+    INFERENCE_MODES,
+    GainConfig,
+    GainEstimator,
+    marginal_entropy_ranking,
+)
+from repro.guidance.hybrid_score import error_rate, hybrid_score
+from repro.guidance.strategies import (
+    STRATEGIES,
+    HybridStrategy,
+    InformationGainStrategy,
+    RandomStrategy,
+    SourceGainStrategy,
+    UncertaintyStrategy,
+    make_strategy,
+)
+
+__all__ = [
+    "ENTROPY_METHODS",
+    "INFERENCE_MODES",
+    "STRATEGIES",
+    "GainConfig",
+    "GainEstimator",
+    "HybridStrategy",
+    "InformationGainStrategy",
+    "RandomStrategy",
+    "SelectionContext",
+    "SelectionStrategy",
+    "SourceGainStrategy",
+    "UncertaintyStrategy",
+    "error_rate",
+    "hybrid_score",
+    "make_strategy",
+    "marginal_entropy_ranking",
+]

@@ -1,0 +1,63 @@
+"""The hybrid-strategy score ``z_i`` (§4.4, Eq. 22–23).
+
+The validation process maintains two signals:
+
+* the *error rate* ε_i — disagreement between the user's input for the
+  selected claim and the model's previous belief about it (Eq. 22), and
+* the *unreliable-source ratio* r_i — the fraction of sources whose
+  inferred trust falls below ½ (Alg. 1, line 17).
+
+The score ``z_i = 1 - exp(-(ε_i (1 - h_i) + r_i h_i))`` with the input
+ratio ``h_i = i / |C|`` mediates between them: early on (small ``h_i``)
+the error rate dominates, later the unreliable-source ratio does.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.checks import check_probability
+
+
+def error_rate(previous_probability: float, previous_grounding_value: int) -> float:
+    """ε_i per Eq. 22.
+
+    Args:
+        previous_probability: ``P_{i-1}(c)`` — the model's belief about the
+            selected claim before the user validated it.
+        previous_grounding_value: ``g_{i-1}(c)`` — the claim's value in the
+            previous grounding.
+
+    Returns:
+        ``1 - P_{i-1}(c)`` when the previous grounding deemed the claim
+        credible, else ``P_{i-1}(c)``.
+    """
+    probability = check_probability(previous_probability, "previous_probability")
+    if previous_grounding_value not in (0, 1):
+        raise ValueError(
+            f"grounding value must be 0 or 1, got {previous_grounding_value!r}"
+        )
+    if previous_grounding_value == 1:
+        return 1.0 - probability
+    return probability
+
+
+def hybrid_score(
+    error: float, unreliable_ratio: float, input_ratio: float
+) -> float:
+    """``z_i`` per Eq. 23.
+
+    Args:
+        error: ε_i, the error rate of the previous grounding.
+        unreliable_ratio: r_i, the fraction of unreliable sources.
+        input_ratio: h_i = i / |C|, the fraction of claims validated.
+
+    Returns:
+        The probability of preferring the source-driven strategy in the
+        next iteration, in [0, 1).
+    """
+    error = check_probability(error, "error")
+    unreliable_ratio = check_probability(unreliable_ratio, "unreliable_ratio")
+    input_ratio = check_probability(input_ratio, "input_ratio")
+    exponent = error * (1.0 - input_ratio) + unreliable_ratio * input_ratio
+    return 1.0 - math.exp(-exponent)

@@ -1,0 +1,24 @@
+"""Credibility inference (§3): iCRF EM, TRON optimiser, grounding decisions."""
+
+from repro.inference.decide import decide_grounding, threshold_grounding
+from repro.inference.icrf import ICrf
+from repro.inference.mstep import MStepConfig, build_design_matrix, run_m_step
+from repro.inference.result import InferenceResult
+from repro.inference.tron import (
+    TronResult,
+    WeightedLogisticLoss,
+    tron_minimize,
+)
+
+__all__ = [
+    "ICrf",
+    "InferenceResult",
+    "MStepConfig",
+    "TronResult",
+    "WeightedLogisticLoss",
+    "build_design_matrix",
+    "decide_grounding",
+    "run_m_step",
+    "threshold_grounding",
+    "tron_minimize",
+]

@@ -1,0 +1,52 @@
+"""Grounding instantiation from Gibbs samples (§3.3, Eq. 10).
+
+``decide`` labels a claim credible when the user confirmed it, or when the
+claim is credible in the most frequent configuration of the last Gibbs
+sample sequence — the sample-based surrogate for the maximum-joint-
+probability configuration of Eq. 9, whose exact computation would be a
+Boolean-satisfiability-like problem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crf.gibbs import GibbsResult
+from repro.data.database import FactDatabase
+from repro.data.grounding import Grounding
+from repro.errors import InferenceError
+
+
+def decide_grounding(database: FactDatabase, result: GibbsResult) -> Grounding:
+    """Instantiate the grounding g_z from the last sampling result.
+
+    Args:
+        database: Fact database holding the user labels C^L.
+        result: Gibbs output whose mode configuration decides unlabelled
+            claims.
+
+    Returns:
+        The grounding: labelled claims keep their user value, unlabelled
+        claims take their value in the most frequent sampled configuration.
+    """
+    mode = np.asarray(result.mode_configuration)
+    if mode.shape != (database.num_claims,):
+        raise InferenceError(
+            "mode configuration does not cover the database's claims"
+        )
+    values = mode.astype(np.int8).copy()
+    for claim_index, label in database.labels.items():
+        values[claim_index] = label
+    return Grounding(values)
+
+
+def threshold_grounding(database: FactDatabase, threshold: float = 0.5) -> Grounding:
+    """The naive instantiation of §2.3: threshold the marginals.
+
+    Used as a baseline and by light-weight re-inference paths that do not
+    run a full Gibbs pass.
+    """
+    values = (np.asarray(database.probabilities) >= threshold).astype(np.int8)
+    for claim_index, label in database.labels.items():
+        values[claim_index] = label
+    return Grounding(values)

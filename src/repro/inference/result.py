@@ -1,0 +1,35 @@
+"""Result containers for credibility inference."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.crf.weights import CrfWeights
+from repro.data.grounding import Grounding
+
+
+@dataclass
+class InferenceResult:
+    """Outcome of one iCRF invocation (one validation-process iteration).
+
+    Attributes:
+        marginals: Credibility probabilities after inference (Eq. 7);
+            labelled claims carry their user label.
+        grounding: The instantiated grounding g_z (Eq. 10).
+        weights: Model parameters W after the final M-step.
+        em_iterations: EM iterations actually performed.
+        converged: Whether the EM loop met its marginal-change tolerance
+            before exhausting its iteration budget.
+        marginal_deltas: Mean absolute marginal change per EM iteration —
+            a diagnostic of EM convergence speed.
+    """
+
+    marginals: np.ndarray
+    grounding: Grounding
+    weights: CrfWeights
+    em_iterations: int
+    converged: bool
+    marginal_deltas: List[float] = field(default_factory=list)

@@ -1,0 +1,38 @@
+"""Evaluation measures (§8.1): effort, precision, correlations."""
+
+from repro.data.grounding import precision_improvement
+from repro.metrics.calibration import (
+    ReliabilityBin,
+    brier_score,
+    correct_value_probabilities,
+    expected_calibration_error,
+    reliability_curve,
+)
+from repro.metrics.correlation import (
+    kendall_tau_b,
+    pearson_correlation,
+    sequence_rank_correlation,
+)
+
+
+def user_effort(num_validated: int, num_claims: int) -> float:
+    """E = |C^L| / |C| — the fraction of claims validated (§8.1)."""
+    if num_claims <= 0:
+        raise ValueError(f"num_claims must be positive, got {num_claims}")
+    if num_validated < 0:
+        raise ValueError(f"num_validated must be non-negative, got {num_validated}")
+    return num_validated / num_claims
+
+
+__all__ = [
+    "ReliabilityBin",
+    "brier_score",
+    "correct_value_probabilities",
+    "expected_calibration_error",
+    "kendall_tau_b",
+    "pearson_correlation",
+    "precision_improvement",
+    "reliability_curve",
+    "sequence_rank_correlation",
+    "user_effort",
+]

@@ -1,0 +1,113 @@
+"""Calibration diagnostics of credibility probabilities (§8.3).
+
+Fig. 4 of the paper argues that the model's probabilities track the truth
+better as user input accumulates.  This module provides the standard
+quantitative companions to that histogram:
+
+* :func:`reliability_curve` — predicted probability vs. empirical
+  credible fraction per bin;
+* :func:`brier_score` — mean squared error of the probabilities;
+* :func:`expected_calibration_error` — bin-weighted |confidence −
+  accuracy| gap;
+* :func:`correct_value_probabilities` — the exact quantity Fig. 4 bins:
+  ``P(c = 1)`` for true claims and ``P(c = 0)`` for false ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+
+@dataclass
+class ReliabilityBin:
+    """One bin of a reliability curve.
+
+    Attributes:
+        lower / upper: Probability bin edges (lower exclusive except for
+            the first bin).
+        count: Number of claims whose probability falls in the bin.
+        mean_predicted: Mean predicted credibility in the bin.
+        empirical: Fraction of those claims that are actually credible.
+    """
+
+    lower: float
+    upper: float
+    count: int
+    mean_predicted: float
+    empirical: float
+
+
+def _validate(probabilities, truth):
+    probabilities = np.asarray(probabilities, dtype=float)
+    truth = np.asarray(truth)
+    if probabilities.shape != truth.shape:
+        raise ValueError(
+            f"probabilities and truth must align, got {probabilities.shape} "
+            f"and {truth.shape}"
+        )
+    if probabilities.size == 0:
+        raise ValueError("need at least one claim")
+    if np.any((probabilities < 0) | (probabilities > 1)):
+        raise ValueError("probabilities must lie in [0, 1]")
+    if not np.all(np.isin(truth, (0, 1))):
+        raise ValueError("truth must be 0/1")
+    return probabilities, truth.astype(float)
+
+
+def reliability_curve(
+    probabilities, truth, num_bins: int = 10
+) -> List[ReliabilityBin]:
+    """Bin predictions and compare them to empirical credible fractions."""
+    if num_bins < 1:
+        raise ValueError(f"num_bins must be positive, got {num_bins}")
+    probabilities, truth = _validate(probabilities, truth)
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    bins: List[ReliabilityBin] = []
+    for index in range(num_bins):
+        lower, upper = edges[index], edges[index + 1]
+        if index == 0:
+            mask = (probabilities >= lower) & (probabilities <= upper)
+        else:
+            mask = (probabilities > lower) & (probabilities <= upper)
+        count = int(mask.sum())
+        bins.append(
+            ReliabilityBin(
+                lower=float(lower),
+                upper=float(upper),
+                count=count,
+                mean_predicted=float(probabilities[mask].mean()) if count else 0.0,
+                empirical=float(truth[mask].mean()) if count else 0.0,
+            )
+        )
+    return bins
+
+
+def brier_score(probabilities, truth) -> float:
+    """Mean squared error of the credibility probabilities, in [0, 1]."""
+    probabilities, truth = _validate(probabilities, truth)
+    return float(np.mean((probabilities - truth) ** 2))
+
+
+def expected_calibration_error(
+    probabilities, truth, num_bins: int = 10
+) -> float:
+    """ECE: bin-count-weighted |mean confidence − empirical fraction|."""
+    probabilities, truth = _validate(probabilities, truth)
+    bins = reliability_curve(probabilities, truth, num_bins)
+    total = probabilities.size
+    return float(
+        sum(
+            b.count / total * abs(b.mean_predicted - b.empirical)
+            for b in bins
+            if b.count
+        )
+    )
+
+
+def correct_value_probabilities(probabilities, truth) -> np.ndarray:
+    """The Fig. 4 quantity: probability assigned to each claim's truth."""
+    probabilities, truth = _validate(probabilities, truth)
+    return np.where(truth == 1, probabilities, 1.0 - probabilities)

@@ -1,0 +1,93 @@
+"""Correlation statistics used by the evaluation (§8.4, §8.8).
+
+* :func:`pearson_correlation` — Fig. 5 reports Pearson's coefficient
+  between uncertainty and precision (≈ −0.85 in the paper).
+* :func:`kendall_tau_b` — Table 2 compares validation sequences between
+  the offline and streaming settings with Kendall's τ_b rank correlation,
+  which handles ties (hence the *b* variant).  Implemented from scratch
+  with the standard tie-corrected formula.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson's product-moment correlation coefficient.
+
+    Returns 0.0 when either input is constant (undefined correlation).
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape:
+        raise ValueError(f"inputs must align, got {x.shape} and {y.shape}")
+    if x.size < 2:
+        raise ValueError("need at least two observations")
+    dx = x - x.mean()
+    dy = y - y.mean()
+    # Multiply norms (not squared norms) so near-subnormal inputs do not
+    # underflow the denominator to zero.
+    denominator = np.linalg.norm(dx) * np.linalg.norm(dy)
+    if denominator == 0:
+        return 0.0
+    return float(np.clip((dx @ dy) / denominator, -1.0, 1.0))
+
+
+def kendall_tau_b(x: Sequence[float], y: Sequence[float]) -> float:
+    """Kendall's τ_b rank correlation with tie correction.
+
+    ``τ_b = (P - Q) / sqrt((n0 - n1)(n0 - n2))`` where P/Q count
+    concordant/discordant pairs, ``n0 = n(n-1)/2`` and ``n1``/``n2`` count
+    tied pairs within x and y respectively.  Ranges from −1 (reversed
+    order) to 1 (identical order); 0 when either input is fully tied.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape:
+        raise ValueError(f"inputs must align, got {x.shape} and {y.shape}")
+    n = x.size
+    if n < 2:
+        raise ValueError("need at least two observations")
+
+    concordant = 0
+    discordant = 0
+    ties_x = 0
+    ties_y = 0
+    for i in range(n - 1):
+        dx = x[i + 1 :] - x[i]
+        dy = y[i + 1 :] - y[i]
+        product = np.sign(dx) * np.sign(dy)
+        concordant += int(np.count_nonzero(product > 0))
+        discordant += int(np.count_nonzero(product < 0))
+        ties_x += int(np.count_nonzero(dx == 0))
+        ties_y += int(np.count_nonzero(dy == 0))
+
+    n0 = n * (n - 1) / 2
+    denominator = np.sqrt((n0 - ties_x) * (n0 - ties_y))
+    if denominator == 0:
+        return 0.0
+    return float((concordant - discordant) / denominator)
+
+
+def sequence_rank_correlation(
+    sequence_a: Sequence[int], sequence_b: Sequence[int]
+) -> float:
+    """τ_b between two validation sequences over a shared item set.
+
+    Items are ranked by their position in each sequence; items appearing
+    in only one sequence are ranked after all present items (tied among
+    themselves), mirroring "not yet validated".
+    """
+    items = sorted(set(sequence_a) | set(sequence_b))
+    if len(items) < 2:
+        raise ValueError("need at least two distinct items")
+    pos_a = {item: rank for rank, item in enumerate(sequence_a)}
+    pos_b = {item: rank for rank, item in enumerate(sequence_b)}
+    tail_a = len(sequence_a)
+    tail_b = len(sequence_b)
+    ranks_a = [pos_a.get(item, tail_a) for item in items]
+    ranks_b = [pos_b.get(item, tail_b) for item in items]
+    return kendall_tau_b(ranks_a, ranks_b)

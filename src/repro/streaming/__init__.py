@@ -1,0 +1,13 @@
+"""Streaming fact checking (§7): claim streams and online EM (Alg. 2)."""
+
+from repro.streaming.process import StreamingFactChecker, StreamUpdate
+from repro.streaming.schedule import RobbinsMonroSchedule
+from repro.streaming.stream import ClaimArrival, stream_from_database
+
+__all__ = [
+    "ClaimArrival",
+    "RobbinsMonroSchedule",
+    "StreamUpdate",
+    "StreamingFactChecker",
+    "stream_from_database",
+]

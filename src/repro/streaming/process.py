@@ -1,0 +1,285 @@
+"""Streaming fact checking — Algorithm 2 of the paper (§7).
+
+:class:`StreamingFactChecker` consumes :class:`~repro.streaming.stream.ClaimArrival`
+events.  Per arrival it (lines 2–6) extends the entity sets, then (lines
+8–9) performs one *online EM* update: a light E-step over the grown model
+followed by a stochastic-approximation parameter move
+
+    W_t = W_{t-1} + γ_t (Ŵ_t - W_{t-1})
+
+where ``Ŵ_t`` maximises the expected log-likelihood of the current data
+(one warm-started TRON step) and γ_t follows a Robbins–Monro schedule —
+the practical realisation of Eq. 29–30, in which the interpolated
+Q-function is represented through its maximiser rather than stored
+symbolically.  Credibility estimates and user labels are carried across
+arrivals by claim identifier, so earlier inference is reused, never
+recomputed from scratch.
+
+The checker interoperates with the validation process (Alg. 1): the
+current parameters can be handed to / received from an
+:class:`~repro.inference.icrf.ICrf` instance (Alg. 2 lines 7 and 10), which
+the Table 2 experiment uses to interleave validation with arrivals.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.crf.model import CrfModel
+from repro.crf.potentials import sigmoid
+from repro.crf.weights import CrfWeights
+from repro.data.database import FactDatabase
+from repro.data.entities import Claim, Document, Source
+from repro.errors import StreamingError
+from repro.inference.mstep import MStepConfig, run_m_step
+from repro.streaming.schedule import RobbinsMonroSchedule
+from repro.streaming.stream import ClaimArrival
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass
+class StreamUpdate:
+    """Outcome of processing one arrival.
+
+    Attributes:
+        arrival_index: 1-based arrival counter t.
+        elapsed_seconds: Wall-clock update time (the §8.8 measurement).
+        step_size: γ_t used for the parameter interpolation.
+        weights: Parameters W_t after the update.
+        num_claims / num_documents / num_sources: Entity counts after the
+            arrival.
+    """
+
+    arrival_index: int
+    elapsed_seconds: float
+    step_size: float
+    weights: CrfWeights
+    num_claims: int
+    num_documents: int
+    num_sources: int
+
+
+class StreamingFactChecker:
+    """Online fact-checking model over a claim stream (Alg. 2).
+
+    Args:
+        schedule: Step-size schedule for the stochastic approximation.
+        aggregation: Claim-evidence aggregation mode of the CRF.
+        coupling_enabled: Whether the indirect relation is active.
+        mstep: M-step hyper-parameters (the online step uses a tightened
+            iteration budget regardless).
+        meanfield_steps: E-step fixed-point iterations per arrival.
+        initial_bias: Cold-start bias weight of a fresh model.
+        prior: Credibility prior of newly arrived claims.
+        seed: Seed or generator.
+    """
+
+    def __init__(
+        self,
+        schedule: Optional[RobbinsMonroSchedule] = None,
+        aggregation: str = "sqrt",
+        coupling_enabled: bool = True,
+        mstep: Optional[MStepConfig] = None,
+        meanfield_steps: int = 3,
+        initial_bias: float = 1.0,
+        prior: float = 0.5,
+        seed: RandomState = None,
+    ) -> None:
+        self._schedule = schedule if schedule is not None else RobbinsMonroSchedule()
+        self._aggregation = aggregation
+        self._coupling_enabled = coupling_enabled
+        self._mstep = mstep if mstep is not None else MStepConfig(max_iterations=5)
+        self._meanfield_steps = meanfield_steps
+        self._initial_bias = float(initial_bias)
+        self._prior = float(prior)
+        self._rng = ensure_rng(seed)
+
+        self._sources: List[Source] = []
+        self._documents: List[Document] = []
+        self._claims: List[Claim] = []
+        self._known_sources: set = set()
+        self._known_documents: set = set()
+        self._known_claims: set = set()
+        self._probabilities: Dict[str, float] = {}
+        self._labels: Dict[str, int] = {}
+        self._weights: Optional[CrfWeights] = None
+        self._t = 0
+        self._database: Optional[FactDatabase] = None
+        self._model: Optional[CrfModel] = None
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def arrivals(self) -> int:
+        """Number of processed arrivals t."""
+        return self._t
+
+    @property
+    def weights(self) -> Optional[CrfWeights]:
+        """Current parameters W_t (``None`` before the first arrival)."""
+        return self._weights.copy() if self._weights is not None else None
+
+    def receive_weights(self, weights: CrfWeights) -> None:
+        """Accept parameters from the validation process (Alg. 2 line 7)."""
+        self._weights = weights.copy()
+        if self._model is not None:
+            self._model.set_weights(self._weights)
+
+    def record_label(self, claim_id: str, value: int) -> None:
+        """Register user input so it survives future rebuilds."""
+        if value not in (0, 1):
+            raise StreamingError(f"label must be 0 or 1, got {value!r}")
+        self._labels[claim_id] = value
+        self._probabilities[claim_id] = float(value)
+        if self._database is not None and claim_id in self._known_claims:
+            self._database.label(self._database.claim_position(claim_id), value)
+
+    @property
+    def database(self) -> FactDatabase:
+        """Snapshot fact database over all entities seen so far."""
+        if self._database is None:
+            raise StreamingError("no arrivals processed yet")
+        return self._database
+
+    # ------------------------------------------------------------------
+    # Alg. 2 main loop body
+    # ------------------------------------------------------------------
+
+    def observe(self, arrival: ClaimArrival) -> StreamUpdate:
+        """Process one claim arrival (lines 2–10 of Alg. 2)."""
+        started = time.perf_counter()
+        self._t += 1
+        self._ingest(arrival)
+        self._rebuild()
+        assert self._database is not None and self._model is not None
+
+        # E-step: light inference over the grown model.
+        marginals = self._mean_field()
+        self._database.set_probabilities(marginals)
+
+        # M-step with stochastic approximation (Eq. 29-30).
+        previous = self._model.weights.values.copy()
+        run_m_step(self._model, np.asarray(self._database.probabilities),
+                   self._mstep)
+        candidate = self._model.weights.values
+        gamma = self._schedule.step_size(self._t)
+        blended = previous + gamma * (candidate - previous)
+        self._weights = CrfWeights(blended)
+        self._model.set_weights(self._weights)
+
+        # Persist marginals for reuse at the next arrival.
+        for index, claim in enumerate(self._database.claims):
+            self._probabilities[claim.claim_id] = float(
+                self._database.probabilities[index]
+            )
+
+        elapsed = time.perf_counter() - started
+        return StreamUpdate(
+            arrival_index=self._t,
+            elapsed_seconds=elapsed,
+            step_size=gamma,
+            weights=self._weights.copy(),
+            num_claims=len(self._claims),
+            num_documents=len(self._documents),
+            num_sources=len(self._sources),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _ingest(self, arrival: ClaimArrival) -> None:
+        """Lines 2–6: extend C^U, D, S with the arrival's entities."""
+        for source in arrival.sources:
+            if source.source_id not in self._known_sources:
+                self._known_sources.add(source.source_id)
+                self._sources.append(source)
+        for document in arrival.documents:
+            if document.document_id not in self._known_documents:
+                self._known_documents.add(document.document_id)
+                self._documents.append(document)
+        if arrival.claim is None:
+            return  # Evidence-only event: no new claim.
+        if arrival.claim.claim_id in self._known_claims:
+            raise StreamingError(
+                f"claim {arrival.claim.claim_id!r} arrived twice"
+            )
+        self._known_claims.add(arrival.claim.claim_id)
+        self._claims.append(arrival.claim)
+
+    def _rebuild(self) -> None:
+        """Rebuild the snapshot database/model over all seen entities.
+
+        Documents may reference claims that have not arrived yet (a multi-
+        claim document delivered with its first claim); such forward links
+        are truncated until the claim arrives, keeping every reference in
+        the snapshot valid.
+        """
+        documents = []
+        for doc in self._documents:
+            known_links = tuple(
+                link
+                for link in doc.claim_links
+                if link.claim_id in self._known_claims
+            )
+            if len(known_links) == len(doc.claim_links):
+                documents.append(doc)
+            else:
+                documents.append(
+                    Document(
+                        document_id=doc.document_id,
+                        source_id=doc.source_id,
+                        features=doc.features,
+                        claim_links=known_links,
+                        metadata=doc.metadata,
+                    )
+                )
+        database = FactDatabase(
+            sources=self._sources,
+            documents=documents,
+            claims=self._claims,
+            prior=self._prior,
+        )
+        probabilities = np.asarray(
+            [
+                self._probabilities.get(claim.claim_id, self._prior)
+                for claim in self._claims
+            ]
+        )
+        database.set_probabilities(probabilities)
+        for claim_id, value in self._labels.items():
+            if claim_id in self._known_claims:
+                database.label(database.claim_position(claim_id), value)
+
+        if self._weights is None:
+            weights = CrfWeights.zeros(
+                database.document_features.shape[1],
+                database.source_features.shape[1],
+            )
+            weights.values[0] = self._initial_bias
+            self._weights = weights
+        self._database = database
+        self._model = CrfModel(
+            database,
+            weights=self._weights,
+            aggregation=self._aggregation,
+            coupling_enabled=self._coupling_enabled,
+        )
+
+    def _mean_field(self) -> np.ndarray:
+        """Damped mean-field E-step over all unlabelled claims."""
+        assert self._database is not None and self._model is not None
+        marginals = np.asarray(self._database.probabilities, dtype=float).copy()
+        free = self._database.unlabelled_indices
+        if free.size == 0:
+            return marginals
+        for _ in range(self._meanfield_steps):
+            logits = self._model.marginal_logits(marginals)
+            marginals[free] = 0.3 * marginals[free] + 0.7 * sigmoid(logits[free])
+        return marginals

@@ -1,0 +1,41 @@
+"""Step-size schedules for stochastic-approximation EM (§7, Eq. 29).
+
+The online update interpolates the expected log-likelihood with a
+decreasing sequence of positive step sizes γ_t satisfying the
+Robbins–Monro conditions ``Σ γ_t = ∞`` and ``Σ γ_t² < ∞``.  The canonical
+choice ``γ_t = scale / t^β`` with β ∈ (0.5, 1] is implemented here.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StreamingError
+
+
+class RobbinsMonroSchedule:
+    """Polynomially decaying step sizes ``γ_t = scale / t^β``.
+
+    Args:
+        beta: Decay exponent; must lie in (0.5, 1] for the Robbins–Monro
+            conditions to hold.
+        scale: Multiplier of the first step; γ_1 = scale (clipped to 1).
+    """
+
+    def __init__(self, beta: float = 0.7, scale: float = 1.0) -> None:
+        if not 0.5 < beta <= 1.0:
+            raise StreamingError(
+                f"beta must lie in (0.5, 1] for Robbins-Monro validity, "
+                f"got {beta}"
+            )
+        if scale <= 0:
+            raise StreamingError(f"scale must be positive, got {scale}")
+        self.beta = float(beta)
+        self.scale = float(scale)
+
+    def step_size(self, t: int) -> float:
+        """γ_t for the 1-based arrival index ``t``."""
+        if t < 1:
+            raise StreamingError(f"t must be at least 1, got {t}")
+        return min(self.scale / (t**self.beta), 1.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RobbinsMonroSchedule(beta={self.beta}, scale={self.scale})"

@@ -1,0 +1,90 @@
+"""Claim streams: turning a corpus into an arrival sequence (§7).
+
+The streaming experiments replay a corpus "in the order of posting time"
+(§8.8).  Synthetic corpora carry no timestamps, so document index order
+serves as posting order: a claim *arrives* with the first document that
+references it, together with any sources and documents not seen before.
+Later documents that reference an already-arrived claim are delivered as
+evidence updates attached to the next arrival.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.data.database import FactDatabase
+from repro.data.entities import Claim, Document, Source
+
+
+@dataclass
+class ClaimArrival:
+    """One streaming event: a new claim plus its not-yet-seen context.
+
+    Attributes:
+        claim: The newly arriving claim (Alg. 2 line 1); ``None`` for a
+            trailing evidence-only event delivering documents about
+            already-arrived claims.
+        documents: Documents delivered with this arrival (the claim's
+            first document plus any backlog referencing earlier claims).
+        sources: Sources appearing for the first time in this event.
+    """
+
+    claim: Optional[Claim]
+    documents: List[Document] = field(default_factory=list)
+    sources: List[Source] = field(default_factory=list)
+
+
+def stream_from_database(database: FactDatabase) -> Iterator[ClaimArrival]:
+    """Replay a corpus as a claim-arrival stream in posting order.
+
+    Iterates documents in index order; when a document references a claim
+    that has not arrived yet, a :class:`ClaimArrival` is emitted carrying
+    the claim, all pending documents (including this one), and all sources
+    those documents introduced.  Claims never referenced by any document
+    are emitted last with empty context.
+
+    Yields:
+        :class:`ClaimArrival` events covering every claim exactly once.
+    """
+    seen_claims: set = set()
+    seen_sources: set = set()
+    pending_documents: List[Document] = []
+    pending_sources: List[Source] = []
+
+    source_by_id = {source.source_id: source for source in database.sources}
+    claim_by_id = {claim.claim_id: claim for claim in database.claims}
+
+    for document in database.documents:
+        if document.source_id not in seen_sources:
+            seen_sources.add(document.source_id)
+            pending_sources.append(source_by_id[document.source_id])
+        pending_documents.append(document)
+        new_claims = [
+            link.claim_id
+            for link in document.claim_links
+            if link.claim_id not in seen_claims
+        ]
+        for claim_id in new_claims:
+            seen_claims.add(claim_id)
+            yield ClaimArrival(
+                claim=claim_by_id[claim_id],
+                documents=pending_documents,
+                sources=pending_sources,
+            )
+            pending_documents = []
+            pending_sources = []
+
+    if pending_documents:
+        # Trailing documents only reference already-arrived claims:
+        # deliver them as an evidence-only event.
+        yield ClaimArrival(
+            claim=None,
+            documents=pending_documents,
+            sources=pending_sources,
+        )
+
+    for claim in database.claims:
+        if claim.claim_id not in seen_claims:
+            seen_claims.add(claim.claim_id)
+            yield ClaimArrival(claim=claim, documents=[], sources=[])

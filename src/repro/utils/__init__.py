@@ -1,0 +1,22 @@
+"""Shared utilities: seeded randomness, timing, and argument checking."""
+
+from repro.utils.rng import RandomState, derive_rng, ensure_rng
+from repro.utils.timer import Stopwatch, timed
+from repro.utils.checks import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "RandomState",
+    "derive_rng",
+    "ensure_rng",
+    "Stopwatch",
+    "timed",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+]

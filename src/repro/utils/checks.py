@@ -1,0 +1,50 @@
+"""Argument-validation helpers used across the public API.
+
+These helpers raise :class:`ValueError` with a consistent message format so
+misuse is reported at the API boundary rather than deep inside numerical
+code.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import SupportsFloat
+
+
+def check_probability(value: SupportsFloat, name: str = "value") -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    number = float(value)
+    if math.isnan(number) or not 0.0 <= number <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return number
+
+
+def check_fraction(value: SupportsFloat, name: str = "value") -> float:
+    """Validate that ``value`` lies in the open-closed interval (0, 1]."""
+    number = float(value)
+    if math.isnan(number) or not 0.0 < number <= 1.0:
+        raise ValueError(f"{name} must lie in (0, 1], got {value!r}")
+    return number
+
+
+def check_positive(value: SupportsFloat, name: str = "value") -> float:
+    """Validate that ``value`` is strictly positive and finite."""
+    number = float(value)
+    if math.isnan(number) or math.isinf(number) or number <= 0:
+        raise ValueError(f"{name} must be positive and finite, got {value!r}")
+    return number
+
+
+def check_non_negative(value: SupportsFloat, name: str = "value") -> float:
+    """Validate that ``value`` is non-negative and finite."""
+    number = float(value)
+    if math.isnan(number) or math.isinf(number) or number < 0:
+        raise ValueError(f"{name} must be non-negative and finite, got {value!r}")
+    return number
+
+
+def check_positive_int(value: int, name: str = "value") -> int:
+    """Validate that ``value`` is a strictly positive integer."""
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return value

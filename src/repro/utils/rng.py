@@ -1,0 +1,50 @@
+"""Deterministic random-number handling.
+
+Every stochastic component in the framework (Gibbs sampling, roulette-wheel
+strategy selection, dataset generation, simulated users) accepts either an
+integer seed or a ready-made :class:`numpy.random.Generator`.  Centralising
+the conversion here keeps experiments reproducible end-to-end: a single seed
+passed to an experiment driver deterministically derives independent child
+generators for each component.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+#: Accepted seed-like inputs throughout the library.
+RandomState = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` yields a freshly seeded generator, an ``int`` a deterministic
+    one, and an existing generator is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def derive_rng(rng: np.random.Generator, stream: int = 0) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    The child is seeded from the parent's bit stream, so two children derived
+    with different ``stream`` indices are statistically independent while the
+    whole tree remains a pure function of the root seed.
+    """
+    seed_seq = np.random.SeedSequence(
+        entropy=int(rng.integers(0, 2**63 - 1)), spawn_key=(stream,)
+    )
+    return np.random.default_rng(seed_seq)
+
+
+def spawn_rngs(seed: RandomState, count: int) -> list[np.random.Generator]:
+    """Create ``count`` independent generators from a single seed."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = np.random.SeedSequence(seed if isinstance(seed, int) else None)
+    return [np.random.default_rng(child) for child in root.spawn(count)]

@@ -1,0 +1,86 @@
+"""Lightweight wall-clock instrumentation for the experiment harness.
+
+The paper reports per-iteration response times (Fig. 2, Fig. 3, and the
+streaming update times of §8.8).  :class:`Stopwatch` accumulates named
+timings so experiment drivers can report averages per phase without pulling
+in a profiling dependency.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates wall-clock durations under string labels.
+
+    Example::
+
+        watch = Stopwatch()
+        with watch.measure("inference"):
+            run_inference()
+        watch.mean("inference")
+    """
+
+    _samples: Dict[str, List[float]] = field(default_factory=lambda: defaultdict(list))
+
+    @contextmanager
+    def measure(self, label: str) -> Iterator[None]:
+        """Time the enclosed block and record it under ``label``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._samples[label].append(time.perf_counter() - start)
+
+    def record(self, label: str, seconds: float) -> None:
+        """Record an externally measured duration."""
+        if seconds < 0:
+            raise ValueError(f"duration must be non-negative, got {seconds}")
+        self._samples[label].append(seconds)
+
+    def count(self, label: str) -> int:
+        """Number of samples recorded under ``label``."""
+        return len(self._samples.get(label, ()))
+
+    def total(self, label: str) -> float:
+        """Sum of all durations recorded under ``label`` (seconds)."""
+        return sum(self._samples.get(label, ()))
+
+    def mean(self, label: str) -> float:
+        """Mean duration for ``label``; zero when nothing was recorded."""
+        samples = self._samples.get(label)
+        if not samples:
+            return 0.0
+        return sum(samples) / len(samples)
+
+    def samples(self, label: str) -> List[float]:
+        """Copy of the raw samples for ``label``."""
+        return list(self._samples.get(label, ()))
+
+    def labels(self) -> List[str]:
+        """All labels with at least one sample, in insertion order."""
+        return list(self._samples)
+
+
+@contextmanager
+def timed() -> Iterator[List[float]]:
+    """Context manager yielding a one-element list holding elapsed seconds.
+
+    Example::
+
+        with timed() as elapsed:
+            work()
+        print(elapsed[0])
+    """
+    holder = [0.0]
+    start = time.perf_counter()
+    try:
+        yield holder
+    finally:
+        holder[0] = time.perf_counter() - start

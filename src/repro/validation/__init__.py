@@ -1,0 +1,30 @@
+"""The interactive validation process (§5): Alg. 1, users, goals, traces."""
+
+from repro.validation.goals import (
+    EstimatedPrecisionGoal,
+    NoGoal,
+    TruePrecisionGoal,
+    ValidationGoal,
+)
+from repro.validation.oracle import SimulatedUser, User
+from repro.validation.process import RobustnessStats, ValidationProcess
+from repro.validation.report import TraceSummary, format_summary, summarize_trace
+from repro.validation.robustness import ConfirmationChecker, ConfirmationReport
+from repro.validation.session import IterationRecord, ValidationTrace
+
+__all__ = [
+    "ConfirmationChecker",
+    "ConfirmationReport",
+    "EstimatedPrecisionGoal",
+    "IterationRecord",
+    "NoGoal",
+    "RobustnessStats",
+    "SimulatedUser",
+    "TraceSummary",
+    "TruePrecisionGoal",
+    "User",
+    "ValidationProcess",
+    "ValidationTrace",
+    "format_summary",
+    "summarize_trace",
+]

@@ -1,0 +1,88 @@
+"""Simulated users for the validation process (§8.1, §8.5).
+
+The paper follows common practice and simulates user input from ground
+truth (§8.1).  :class:`SimulatedUser` supports the two perturbations the
+robustness experiments add:
+
+* **mistakes** (§8.5, Table 1 / Fig. 7) — with probability ``p`` the
+  correct input is flipped;
+* **skipping** (§8.5, Fig. 8) — with probability ``p_m`` the user declines
+  to validate the offered claim, and the process falls back to the
+  next-best candidate.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.data.entities import Claim
+from repro.errors import ValidationProcessError
+from repro.utils.checks import check_probability
+from repro.utils.rng import RandomState, ensure_rng
+
+
+class User(abc.ABC):
+    """Interface of a validating user (step 2 of the process, §2.3)."""
+
+    @abc.abstractmethod
+    def validate(self, claim: Claim) -> Optional[int]:
+        """Return 1 (credible), 0 (non-credible), or ``None`` to skip."""
+
+
+class SimulatedUser(User):
+    """Ground-truth oracle with optional mistakes and skipping.
+
+    Args:
+        error_probability: Chance of flipping the correct answer.
+        skip_probability: Chance of declining to validate a claim.
+        seed: Seed or generator.
+    """
+
+    def __init__(
+        self,
+        error_probability: float = 0.0,
+        skip_probability: float = 0.0,
+        seed: RandomState = None,
+    ) -> None:
+        self._error_probability = check_probability(
+            error_probability, "error_probability"
+        )
+        self._skip_probability = check_probability(
+            skip_probability, "skip_probability"
+        )
+        self._rng = ensure_rng(seed)
+        self._validations = 0
+        self._mistakes = 0
+        self._skips = 0
+
+    @property
+    def validations(self) -> int:
+        """Number of answers produced (excludes skips)."""
+        return self._validations
+
+    @property
+    def mistakes(self) -> int:
+        """Number of flipped (incorrect) answers produced."""
+        return self._mistakes
+
+    @property
+    def skips(self) -> int:
+        """Number of claims the user declined."""
+        return self._skips
+
+    def validate(self, claim: Claim) -> Optional[int]:
+        """Answer from ground truth, possibly skipped or flipped."""
+        if claim.truth is None:
+            raise ValidationProcessError(
+                f"claim {claim.claim_id!r} has no ground truth to simulate from"
+            )
+        if self._skip_probability and self._rng.random() < self._skip_probability:
+            self._skips += 1
+            return None
+        answer = 1 if claim.truth else 0
+        self._validations += 1
+        if self._error_probability and self._rng.random() < self._error_probability:
+            self._mistakes += 1
+            return 1 - answer
+        return answer

@@ -1,0 +1,429 @@
+"""The complete validation process — Algorithm 1 of the paper (§5.1).
+
+:class:`ValidationProcess` wires together all framework pieces: per
+iteration it (1) selects a claim — or a batch (§6.2) — using the configured
+strategy, (2) elicits (simulated) user input with skip handling (§8.5),
+(3) infers the implications with iCRF, and (4) instantiates a grounding;
+it then updates the hybrid-strategy score z_i from the error rate and the
+unreliable-source ratio (Eq. 22–23), optionally sweeps the confirmation
+check of §5.2, and evaluates goal, budget, and the early-termination
+criteria of §6.1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.crf.entropy import (
+    approximate_entropy,
+    source_trust_from_grounding,
+    unreliable_source_ratio,
+)
+from repro.crf.partition import ComponentIndex
+from repro.data.database import FactDatabase
+from repro.data.grounding import Grounding
+from repro.errors import ValidationProcessError
+from repro.guidance.base import SelectionContext, SelectionStrategy
+from repro.guidance.gain import GainConfig, GainEstimator
+from repro.guidance.hybrid_score import error_rate as compute_error_rate
+from repro.guidance.hybrid_score import hybrid_score
+from repro.inference.icrf import ICrf
+from repro.validation.goals import NoGoal, ValidationGoal
+from repro.validation.oracle import User
+from repro.validation.robustness import ConfirmationChecker
+from repro.validation.session import IterationRecord, ValidationTrace
+from repro.utils.rng import RandomState, derive_rng, ensure_rng
+
+
+@dataclass
+class RobustnessStats:
+    """Bookkeeping of the confirmation check (§5.2, Table 1).
+
+    Attributes:
+        sweeps: Confirmation sweeps performed.
+        flagged: Labels flagged as suspicious.
+        true_detections: Flagged labels that were in fact wrong.
+        false_flags: Flagged labels that were actually correct.
+        repairs: Re-elicited labels (adds to user effort).
+    """
+
+    sweeps: int = 0
+    flagged: int = 0
+    true_detections: int = 0
+    false_flags: int = 0
+    repairs: int = 0
+    flagged_claims: List[int] = field(default_factory=list)
+
+
+class ValidationProcess:
+    """Interactive fact-checking driver (Alg. 1).
+
+    Args:
+        database: The probabilistic fact database Q.
+        strategy: Claim-selection strategy (step 1).
+        user: The validating user (step 2); simulated in experiments.
+        goal: Validation goal Δ; default: none (run to budget/exhaustion).
+        budget: User-effort budget b (max validations); default |C|.
+        icrf: Inference engine; constructed with defaults when omitted.
+        gain_config: Configuration of information-gain evaluation.
+        candidate_limit: Pool restriction for gain-based strategies.
+        batch_size: Claims validated per iteration (k of §6.2); batches
+            are chosen by the greedy submodular selector.
+        batch_utility_weight: The w of Eq. 27 balancing individual benefit
+            against redundancy.
+        robustness: Confirmation checker (§5.2); ``None`` disables it.
+        termination: Early-termination criteria (§6.1) consulted after
+            every iteration.
+        max_skip_attempts: How many next-best candidates to offer when the
+            user keeps skipping before forcing the last one.
+        deterministic_ties: Break selection-score ties by claim index
+            rather than randomly (reproducible validation orders).
+        seed: Seed or generator.
+    """
+
+    def __init__(
+        self,
+        database: FactDatabase,
+        strategy: SelectionStrategy,
+        user: User,
+        goal: Optional[ValidationGoal] = None,
+        budget: Optional[int] = None,
+        icrf: Optional[ICrf] = None,
+        gain_config: Optional[GainConfig] = None,
+        candidate_limit: Optional[int] = None,
+        batch_size: int = 1,
+        batch_utility_weight: float = 1.0,
+        robustness: Optional[ConfirmationChecker] = None,
+        termination: Sequence = (),
+        max_skip_attempts: int = 5,
+        deterministic_ties: bool = False,
+        seed: RandomState = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValidationProcessError("batch_size must be at least 1")
+        if budget is not None and budget < 1:
+            raise ValidationProcessError("budget must be at least 1")
+        rng = ensure_rng(seed)
+        self.database = database
+        self.strategy = strategy
+        self.user = user
+        self.goal = goal if goal is not None else NoGoal()
+        self.budget = budget if budget is not None else database.num_claims
+        self.icrf = icrf if icrf is not None else ICrf(database, seed=derive_rng(rng, 0))
+        self.components = ComponentIndex(database)
+        self.gains = GainEstimator(
+            self.icrf.model,
+            components=self.components,
+            config=gain_config,
+            seed=derive_rng(rng, 1),
+        )
+        self.candidate_limit = candidate_limit
+        self.batch_size = batch_size
+        self.batch_utility_weight = batch_utility_weight
+        self.robustness = robustness
+        self.termination = list(termination)
+        self.max_skip_attempts = max_skip_attempts
+        self.deterministic_ties = deterministic_ties
+        self._rng = derive_rng(rng, 2)
+
+        self._truth: Optional[np.ndarray] = None
+        try:
+            self._truth = database.truth_vector()
+        except Exception:
+            self._truth = None
+
+        self._trace: Optional[ValidationTrace] = None
+        self._grounding: Optional[Grounding] = None
+        self._hybrid_score = 0.0
+        self._iteration = 0
+        self._validations_since_check = 0
+        self.robustness_stats = RobustnessStats()
+
+    # ------------------------------------------------------------------
+    # State accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def trace(self) -> ValidationTrace:
+        """The session trace (initialises the process on first access)."""
+        if self._trace is None:
+            self.initialize()
+        assert self._trace is not None
+        return self._trace
+
+    @property
+    def grounding(self) -> Grounding:
+        """The current grounding g_i."""
+        if self._grounding is None:
+            self.initialize()
+        assert self._grounding is not None
+        return self._grounding
+
+    def current_precision(self) -> Optional[float]:
+        """True precision of the current grounding, when truth is known."""
+        if self._truth is None or self._grounding is None:
+            return None
+        return self._grounding.precision(self._truth)
+
+    def current_entropy(self) -> float:
+        """H_C(Q) by the scalable estimator (Eq. 13)."""
+        return approximate_entropy(self.database.probabilities)
+
+    # ------------------------------------------------------------------
+    # Lines 1–4 of Alg. 1
+    # ------------------------------------------------------------------
+
+    def initialize(self) -> ValidationTrace:
+        """Initial inference on the unlabelled database (Alg. 1 lines 1–4)."""
+        if self._trace is not None:
+            return self._trace
+        result = self.icrf.infer()
+        self._grounding = result.grounding
+        self._hybrid_score = 0.0
+        self._iteration = 0
+        self._trace = ValidationTrace(
+            num_claims=self.database.num_claims,
+            initial_precision=self.current_precision(),
+            initial_entropy=self.current_entropy(),
+        )
+        return self._trace
+
+    # ------------------------------------------------------------------
+    # One iteration (Alg. 1 lines 6–19)
+    # ------------------------------------------------------------------
+
+    def step(self) -> IterationRecord:
+        """Execute one iteration of the validation loop."""
+        if self._trace is None:
+            self.initialize()
+        assert self._trace is not None and self._grounding is not None
+        if self.database.unlabelled_indices.size == 0:
+            raise ValidationProcessError("all claims are already validated")
+
+        self._iteration += 1
+        started = time.perf_counter()
+
+        # (1) Select claim(s) to validate.
+        context = SelectionContext(
+            database=self.database,
+            gains=self.gains,
+            rng=self._rng,
+            hybrid_score=self._hybrid_score,
+            iteration=self._iteration,
+            candidate_limit=self.candidate_limit,
+            deterministic_ties=self.deterministic_ties,
+        )
+        if self.batch_size == 1:
+            selected = self._select_single(context)
+        else:
+            selected = self._select_batch(context)
+        selection_seconds = time.perf_counter() - started
+
+        # (2) Elicit user input, with skip handling.
+        claims, values, skipped = self._elicit(selected, context)
+
+        # Error rate ε_i against the previous model state (Eq. 22).
+        previous_probabilities = np.asarray(self.database.probabilities)
+        errors = [
+            compute_error_rate(
+                float(previous_probabilities[claim]), self._grounding[claim]
+            )
+            for claim in claims
+        ]
+        matched = [self._grounding[c] == v for c, v in zip(claims, values)]
+
+        # (3) Incorporate input and infer (Alg. 1 lines 14–15).
+        inference_started = time.perf_counter()
+        for claim, value in zip(claims, values):
+            self.database.label(claim, value)
+        result = self.icrf.infer()
+        inference_seconds = time.perf_counter() - inference_started
+
+        # (4) Decide on the grounding (line 16).
+        previous_grounding = self._grounding
+        self._grounding = result.grounding
+        grounding_changes = self._grounding.differences(previous_grounding)
+
+        # Lines 17–18: unreliable-source ratio and hybrid score.
+        trust = source_trust_from_grounding(self.database, self._grounding)
+        unreliable = unreliable_source_ratio(trust)
+        mean_error = float(np.mean(errors)) if errors else 0.0
+        input_ratio = min(self.database.num_labelled / self.database.num_claims, 1.0)
+        self._hybrid_score = hybrid_score(mean_error, unreliable, input_ratio)
+
+        # §5.2 confirmation check.
+        repairs = 0
+        self._validations_since_check += len(claims)
+        if self.robustness is not None and self.robustness.due(
+            self._validations_since_check
+        ):
+            repairs = self._confirmation_sweep()
+            self._validations_since_check = 0
+
+        record = IterationRecord(
+            iteration=self._iteration,
+            claim_indices=list(claims),
+            user_values=list(values),
+            strategy_used=getattr(self.strategy, "last_choice", "")
+            or self.strategy.name,
+            error_rate=mean_error,
+            hybrid_score=self._hybrid_score,
+            unreliable_ratio=unreliable,
+            entropy=self.current_entropy(),
+            precision=self.current_precision(),
+            grounding_changes=grounding_changes,
+            predictions_matched=matched,
+            response_seconds=selection_seconds + inference_seconds,
+            skipped=skipped,
+            repairs=repairs,
+        )
+        self._trace.records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Full run
+    # ------------------------------------------------------------------
+
+    def run(self, max_iterations: Optional[int] = None) -> ValidationTrace:
+        """Run Alg. 1 until goal, budget, exhaustion, or early termination."""
+        trace = self.initialize()
+        while True:
+            if self.goal.satisfied(self):
+                trace.stop_reason = "goal"
+                break
+            if self.database.unlabelled_indices.size == 0:
+                trace.stop_reason = "exhausted"
+                break
+            if self.database.num_labelled >= self.budget:
+                trace.stop_reason = "budget"
+                break
+            if max_iterations is not None and trace.iterations >= max_iterations:
+                trace.stop_reason = "max_iterations"
+                break
+            record = self.step()
+            reason = self._check_termination(record)
+            if reason is not None:
+                trace.stop_reason = reason
+                break
+        trace.final_grounding = self._grounding
+        return trace
+
+    def _check_termination(self, record: IterationRecord) -> Optional[str]:
+        for criterion in self.termination:
+            reason = criterion.update(self.trace, record, self)
+            if reason is not None:
+                return reason
+        return None
+
+    # ------------------------------------------------------------------
+    # Selection helpers
+    # ------------------------------------------------------------------
+
+    def _select_single(self, context: SelectionContext) -> List[int]:
+        return [self.strategy.select(context)]
+
+    def _select_batch(self, context: SelectionContext) -> List[int]:
+        from repro.effort.batching import greedy_topk_selection
+
+        unlabelled = context.database.unlabelled_indices
+        k = min(self.batch_size, unlabelled.size)
+        selection = greedy_topk_selection(
+            database=self.database,
+            gains=self.gains,
+            k=k,
+            utility_weight=self.batch_utility_weight,
+            candidate_limit=self.candidate_limit,
+        )
+        return selection.claims
+
+    def _elicit(
+        self, selected: List[int], context: SelectionContext
+    ) -> tuple:
+        """Obtain user input for the selection, handling skips (§8.5)."""
+        claims: List[int] = []
+        values: List[int] = []
+        skipped = 0
+        for claim_index in selected:
+            value = self.user.validate(self.database.claims[claim_index])
+            if value is not None:
+                claims.append(claim_index)
+                values.append(value)
+                continue
+            # The user skipped: offer the next-best candidates.
+            skipped += 1
+            replacement = self._next_best(claim_index, context)
+            attempts = 0
+            value = None
+            while replacement is not None and attempts < self.max_skip_attempts:
+                value = self.user.validate(self.database.claims[replacement])
+                if value is not None:
+                    break
+                skipped += 1
+                attempts += 1
+                replacement = self._next_best(replacement, context, offset=attempts + 1)
+            if replacement is None:
+                replacement = claim_index
+            if value is None:
+                # Everyone was skipped: force input on the last candidate.
+                truth = self.database.claims[replacement].truth
+                value = 1 if truth else 0
+            claims.append(replacement)
+            values.append(value)
+        return claims, values, skipped
+
+    def _next_best(
+        self, excluded: int, context: SelectionContext, offset: int = 1
+    ) -> Optional[int]:
+        """The next-ranked candidate differing from already chosen ones."""
+        try:
+            ranked = self.strategy.rank(context, count=offset + 1)
+        except Exception:
+            candidates = [
+                int(c)
+                for c in self.database.unlabelled_indices
+                if int(c) != excluded
+            ]
+            if not candidates:
+                return None
+            return int(self._rng.choice(candidates))
+        for candidate in ranked:
+            if candidate != excluded:
+                return int(candidate)
+        return None
+
+    # ------------------------------------------------------------------
+    # Robustness (§5.2)
+    # ------------------------------------------------------------------
+
+    def _confirmation_sweep(self) -> int:
+        """Run the confirmation check and repair suspicious labels."""
+        assert self.robustness is not None
+        report = self.robustness.sweep(self.icrf.model, self.components)
+        stats = self.robustness_stats
+        stats.sweeps += 1
+        repairs = 0
+        relabelled = False
+        for claim_index in report.suspects:
+            stats.flagged += 1
+            stats.flagged_claims.append(claim_index)
+            stored = self.database.label_of(claim_index)
+            truth = self.database.claims[claim_index].truth
+            if truth is not None and stored is not None and stored != int(truth):
+                stats.true_detections += 1
+            else:
+                stats.false_flags += 1
+            # Re-elicit input for the suspicious claim.
+            value = self.user.validate(self.database.claims[claim_index])
+            repairs += 1
+            stats.repairs += 1
+            if value is not None and value != stored:
+                self.database.label(claim_index, value)
+                relabelled = True
+        if relabelled:
+            result = self.icrf.infer(em_iterations=1)
+            self._grounding = result.grounding
+        return repairs

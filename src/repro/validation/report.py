@@ -1,0 +1,120 @@
+"""Human-readable summaries of validation runs.
+
+:func:`summarize_trace` condenses a :class:`~repro.validation.session.ValidationTrace`
+into the quantities a practitioner checks after a run — final precision,
+effort, convergence indicators, strategy mix — and renders them as text.
+Used by the CLI and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.effort.termination import cng_series, urr_series
+from repro.validation.session import ValidationTrace
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate view of one validation run.
+
+    Attributes:
+        iterations: Completed iterations.
+        validations: Claims validated (excluding repairs).
+        repairs: Labels re-elicited by the confirmation check.
+        skips: Claims the user declined.
+        effort: Validated claims as a fraction of |C|.
+        initial_precision / final_precision: Grounding precision before
+            and after (``None`` without ground truth).
+        effort_to_90: Effort fraction at which precision first reached
+            0.9, when it did.
+        entropy_drop: Relative uncertainty reduction over the run.
+        mean_response_seconds: Mean per-iteration response time.
+        strategy_mix: How often each concrete strategy made the selection
+            (interesting under the hybrid roulette).
+        final_urr / final_cng: Last values of the convergence indicators.
+        stop_reason: Why the run ended.
+    """
+
+    iterations: int
+    validations: int
+    repairs: int
+    skips: int
+    effort: float
+    initial_precision: Optional[float]
+    final_precision: Optional[float]
+    effort_to_90: Optional[float]
+    entropy_drop: float
+    mean_response_seconds: float
+    strategy_mix: Dict[str, int]
+    final_urr: float
+    final_cng: float
+    stop_reason: str
+
+
+def summarize_trace(trace: ValidationTrace) -> TraceSummary:
+    """Build a :class:`TraceSummary` from a finished (or partial) trace."""
+    records = trace.records
+    precisions = trace.precisions()
+    final_precision = None
+    if records and not np.isnan(precisions[-1]):
+        final_precision = float(precisions[-1])
+    entropies = trace.entropies()
+    if trace.initial_entropy > 0 and entropies.size:
+        entropy_drop = float(
+            (trace.initial_entropy - entropies[-1]) / trace.initial_entropy
+        )
+    else:
+        entropy_drop = 0.0
+    urr = urr_series(trace) if records else np.asarray([0.0])
+    cng = cng_series(trace) if records else np.asarray([0.0])
+    return TraceSummary(
+        iterations=trace.iterations,
+        validations=trace.total_validations(),
+        repairs=sum(r.repairs for r in records),
+        skips=sum(r.skipped for r in records),
+        effort=trace.total_validations() / trace.num_claims,
+        initial_precision=trace.initial_precision,
+        final_precision=final_precision,
+        effort_to_90=trace.effort_to_reach(0.9),
+        entropy_drop=entropy_drop,
+        mean_response_seconds=(
+            float(trace.response_times().mean()) if records else 0.0
+        ),
+        strategy_mix=dict(Counter(r.strategy_used for r in records)),
+        final_urr=float(urr[-1]) if urr.size else 0.0,
+        final_cng=float(cng[-1]) if cng.size else 0.0,
+        stop_reason=trace.stop_reason,
+    )
+
+
+def format_summary(summary: TraceSummary) -> str:
+    """Render a summary as an aligned text block."""
+    lines = [
+        f"stop reason          {summary.stop_reason}",
+        f"iterations           {summary.iterations}",
+        f"validations          {summary.validations} "
+        f"(+{summary.repairs} repairs, {summary.skips} skips)",
+        f"effort               {summary.effort:.1%}",
+    ]
+    if summary.initial_precision is not None:
+        lines.append(f"initial precision    {summary.initial_precision:.3f}")
+    if summary.final_precision is not None:
+        lines.append(f"final precision      {summary.final_precision:.3f}")
+    if summary.effort_to_90 is not None:
+        lines.append(f"effort to 0.9        {summary.effort_to_90:.1%}")
+    lines.append(f"entropy drop         {summary.entropy_drop:.1%}")
+    lines.append(
+        f"mean response time   {summary.mean_response_seconds * 1000:.0f} ms"
+    )
+    if summary.strategy_mix:
+        mix = ", ".join(
+            f"{name}: {count}" for name, count in sorted(summary.strategy_mix.items())
+        )
+        lines.append(f"strategy mix         {mix}")
+    lines.append(f"final URR / CNG      {summary.final_urr:.3f} / {summary.final_cng:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Tests for calibration diagnostics (§8.3 companions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    brier_score,
+    correct_value_probabilities,
+    expected_calibration_error,
+    reliability_curve,
+)
+
+
+class TestValidation:
+    def test_misaligned_inputs(self):
+        with pytest.raises(ValueError):
+            brier_score([0.5], [1, 0])
+
+    def test_empty_inputs(self):
+        with pytest.raises(ValueError):
+            brier_score([], [])
+
+    def test_out_of_range_probability(self):
+        with pytest.raises(ValueError):
+            brier_score([1.5], [1])
+
+    def test_non_binary_truth(self):
+        with pytest.raises(ValueError):
+            brier_score([0.5], [2])
+
+
+class TestBrier:
+    def test_perfect_predictions(self):
+        assert brier_score([1.0, 0.0], [1, 0]) == 0.0
+
+    def test_worst_predictions(self):
+        assert brier_score([0.0, 1.0], [1, 0]) == 1.0
+
+    def test_uninformed_predictions(self):
+        assert brier_score([0.5, 0.5], [1, 0]) == pytest.approx(0.25)
+
+
+class TestReliabilityCurve:
+    def test_bin_counts_cover_all_claims(self):
+        rng = np.random.default_rng(0)
+        probs = rng.random(200)
+        truth = (rng.random(200) < probs).astype(int)
+        bins = reliability_curve(probs, truth, num_bins=10)
+        assert sum(b.count for b in bins) == 200
+
+    def test_calibrated_data_matches_diagonal(self):
+        rng = np.random.default_rng(1)
+        probs = rng.random(5000)
+        truth = (rng.random(5000) < probs).astype(int)
+        bins = reliability_curve(probs, truth, num_bins=5)
+        for b in bins:
+            if b.count > 100:
+                assert abs(b.mean_predicted - b.empirical) < 0.1
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            reliability_curve([0.5], [1], num_bins=0)
+
+    def test_boundary_zero_lands_in_first_bin(self):
+        bins = reliability_curve([0.0], [0], num_bins=10)
+        assert bins[0].count == 1
+
+
+class TestECE:
+    def test_calibrated_data_low_ece(self):
+        rng = np.random.default_rng(2)
+        probs = rng.random(5000)
+        truth = (rng.random(5000) < probs).astype(int)
+        assert expected_calibration_error(probs, truth) < 0.05
+
+    def test_anticalibrated_data_high_ece(self):
+        probs = np.asarray([0.9] * 50 + [0.1] * 50)
+        truth = np.asarray([0] * 50 + [1] * 50)
+        assert expected_calibration_error(probs, truth) > 0.5
+
+
+class TestCorrectValueProbabilities:
+    def test_definition(self):
+        values = correct_value_probabilities([0.8, 0.3], [1, 0])
+        assert values.tolist() == [0.8, 0.7]
+
+    def test_bounds(self):
+        rng = np.random.default_rng(3)
+        probs = rng.random(100)
+        truth = rng.integers(0, 2, 100)
+        values = correct_value_probabilities(probs, truth)
+        assert np.all((values >= 0) & (values <= 1))

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import load_database
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_command_parses(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig6", "--runs", "1", "--datasets", "wiki"]
+        )
+        assert args.command == "experiment"
+        assert args.name == "fig6"
+        assert args.datasets == ["wiki"]
+
+    def test_experiment_rejects_unknown_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_validate_defaults(self):
+        args = build_parser().parse_args(["validate"])
+        assert args.dataset == "snopes"
+        assert args.strategy == "hybrid"
+        assert args.goal == 0.9
+
+    def test_generate_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate"])
+
+
+class TestCommands:
+    def test_generate_writes_loadable_json(self, tmp_path, capsys):
+        out = tmp_path / "corpus.json"
+        code = main(
+            ["generate", "--dataset", "wiki", "--scale", "0.05",
+             "--seed", "3", "--out", str(out)]
+        )
+        assert code == 0
+        database = load_database(out)
+        assert database.num_claims > 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_output_is_valid_json(self, tmp_path):
+        out = tmp_path / "corpus.json"
+        main(["generate", "--dataset", "wiki", "--scale", "0.05",
+              "--out", str(out)])
+        payload = json.loads(out.read_text())
+        assert payload["version"] == 1
+
+    def test_validate_runs_to_goal(self, capsys):
+        code = main(
+            ["validate", "--dataset", "wiki", "--scale", "0.1",
+             "--seed", "3", "--goal", "0.8", "--quiet"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "stop reason" in output
+        assert "final precision" in output
+
+    def test_validate_verbose_prints_iterations(self, capsys):
+        main(
+            ["validate", "--dataset", "wiki", "--scale", "0.1",
+             "--seed", "3", "--goal", "0.8", "--budget", "3"]
+        )
+        output = capsys.readouterr().out
+        assert "initial precision" in output
+
+    def test_experiment_prints_table(self, capsys):
+        code = main(
+            ["experiment", "table3", "--runs", "1",
+             "--scale-factor", "0.5", "--datasets", "wiki"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Table 3" in output
+        assert "wiki" in output

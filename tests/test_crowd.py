@@ -1,0 +1,204 @@
+"""Tests for the crowdsourcing substrate (§8.9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crowd.aggregation import DawidSkeneBinary, majority_vote
+from repro.crowd.deployment import run_deployment
+from repro.crowd.workers import (
+    CROWD_PROFILES,
+    EXPERT_PROFILES,
+    SimulatedValidator,
+    ValidatorProfile,
+)
+from repro.data.entities import Claim
+from repro.datasets import load_dataset
+from repro.errors import ValidationProcessError
+
+
+class TestProfiles:
+    def test_experts_more_accurate_than_crowd(self):
+        for dataset in EXPERT_PROFILES:
+            assert (
+                EXPERT_PROFILES[dataset].accuracy
+                > CROWD_PROFILES[dataset].accuracy
+            )
+
+    def test_experts_slower_than_crowd(self):
+        for dataset in EXPERT_PROFILES:
+            assert (
+                EXPERT_PROFILES[dataset].median_seconds
+                > CROWD_PROFILES[dataset].median_seconds
+            )
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            ValidatorProfile("x", accuracy=1.2, median_seconds=10.0)
+        with pytest.raises(ValueError):
+            ValidatorProfile("x", accuracy=0.9, median_seconds=0.0)
+
+
+class TestSimulatedValidator:
+    def test_answers_binary(self):
+        worker = SimulatedValidator(CROWD_PROFILES["wiki"], "w1", seed=0)
+        answers = {worker.answer(Claim("c", truth=True)) for _ in range(50)}
+        assert answers <= {0, 1}
+
+    def test_high_accuracy_mostly_correct(self):
+        worker = SimulatedValidator(EXPERT_PROFILES["wiki"], "w1", seed=0)
+        correct = sum(
+            worker.answer(Claim("c", truth=True)) == 1 for _ in range(200)
+        )
+        assert correct > 180
+
+    def test_requires_truth(self):
+        worker = SimulatedValidator(CROWD_PROFILES["wiki"], "w1", seed=0)
+        with pytest.raises(ValidationProcessError):
+            worker.answer(Claim("c"))
+
+    def test_response_times_positive(self):
+        worker = SimulatedValidator(CROWD_PROFILES["wiki"], "w1", seed=0)
+        times = [worker.response_seconds() for _ in range(20)]
+        assert all(t > 0 for t in times)
+
+    def test_empty_worker_id_rejected(self):
+        with pytest.raises(ValidationProcessError):
+            SimulatedValidator(CROWD_PROFILES["wiki"], "", seed=0)
+
+    def test_accuracy_jitter_bounded(self):
+        workers = [
+            SimulatedValidator(CROWD_PROFILES["wiki"], f"w{i}", seed=i)
+            for i in range(20)
+        ]
+        accuracies = [w.accuracy for w in workers]
+        assert all(0.5 <= a <= 1.0 for a in accuracies)
+        assert len(set(round(a, 6) for a in accuracies)) > 1  # heterogeneous
+
+
+class TestMajorityVote:
+    def test_simple_majority(self):
+        answers = {"t1": {"a": 1, "b": 1, "c": 0}}
+        assert majority_vote(answers) == {"t1": 1}
+
+    def test_tie_resolves_to_zero(self):
+        answers = {"t1": {"a": 1, "b": 0}}
+        assert majority_vote(answers) == {"t1": 0}
+
+    def test_empty_votes_rejected(self):
+        with pytest.raises(ValidationProcessError):
+            majority_vote({"t1": {}})
+
+
+class TestDawidSkene:
+    def make_answers(self, num_tasks=40, num_workers=7, bad_workers=2, seed=0):
+        """Synthetic answers: most workers good, some adversarial."""
+        rng = np.random.default_rng(seed)
+        truth = rng.integers(0, 2, size=num_tasks)
+        answers = {}
+        for t in range(num_tasks):
+            votes = {}
+            for w in range(num_workers):
+                accuracy = 0.3 if w < bad_workers else 0.9
+                if rng.random() < accuracy:
+                    votes[f"w{w}"] = int(truth[t])
+                else:
+                    votes[f"w{w}"] = int(1 - truth[t])
+            answers[f"t{t:03d}"] = votes
+        return answers, truth
+
+    def test_recovers_truth_with_reliable_majority(self):
+        answers, truth = self.make_answers()
+        result = DawidSkeneBinary().aggregate(answers)
+        hits = sum(
+            result.consensus[f"t{t:03d}"] == truth[t] for t in range(len(truth))
+        )
+        assert hits >= 0.9 * len(truth)
+
+    def test_identifies_bad_workers(self):
+        answers, _ = self.make_answers()
+        result = DawidSkeneBinary().aggregate(answers)
+        bad = np.mean([result.worker_accuracy["w0"], result.worker_accuracy["w1"]])
+        good = np.mean(
+            [result.worker_accuracy[f"w{i}"] for i in range(2, 7)]
+        )
+        assert good > bad
+
+    def test_beats_majority_with_adversaries(self):
+        answers, truth = self.make_answers(
+            num_tasks=60, num_workers=7, bad_workers=3, seed=3
+        )
+        ds = DawidSkeneBinary().aggregate(answers).consensus
+        mv = majority_vote(answers)
+        ds_hits = sum(ds[f"t{t:03d}"] == truth[t] for t in range(len(truth)))
+        mv_hits = sum(mv[f"t{t:03d}"] == truth[t] for t in range(len(truth)))
+        assert ds_hits >= mv_hits
+
+    def test_posteriors_in_unit_interval(self):
+        answers, _ = self.make_answers(num_tasks=10)
+        result = DawidSkeneBinary().aggregate(answers)
+        assert all(0.0 <= p <= 1.0 for p in result.posteriors.values())
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValidationProcessError):
+            DawidSkeneBinary().aggregate({})
+
+    def test_invalid_vote_rejected(self):
+        with pytest.raises(ValidationProcessError):
+            DawidSkeneBinary().aggregate({"t1": {"w1": 2}})
+
+    def test_construction_validation(self):
+        with pytest.raises(ValidationProcessError):
+            DawidSkeneBinary(max_iterations=0)
+        with pytest.raises(ValidationProcessError):
+            DawidSkeneBinary(reliability_floor=0.6)
+
+    def test_converges(self):
+        answers, _ = self.make_answers(num_tasks=20)
+        result = DawidSkeneBinary().aggregate(answers)
+        assert result.iterations < 100
+
+
+class TestDeployment:
+    def test_outcome_shapes(self):
+        db = load_dataset("wiki", seed=42, scale=0.15)
+        outcomes = run_deployment(db, "wiki", num_claims=15, seed=1)
+        assert set(outcomes) == {"expert", "crowd"}
+        for outcome in outcomes.values():
+            assert 0.0 <= outcome.accuracy <= 1.0
+            assert outcome.mean_seconds > 0
+
+    def test_expert_more_accurate(self):
+        db = load_dataset("wiki", seed=42, scale=0.3)
+        outcomes = run_deployment(db, "wiki", num_claims=40, seed=1)
+        assert outcomes["expert"].accuracy >= outcomes["crowd"].accuracy - 0.1
+
+    def test_expert_slower(self):
+        db = load_dataset("wiki", seed=42, scale=0.15)
+        outcomes = run_deployment(db, "wiki", num_claims=15, seed=1)
+        assert outcomes["expert"].mean_seconds > outcomes["crowd"].mean_seconds
+
+    def test_crowd_redundancy_counts_answers(self):
+        db = load_dataset("wiki", seed=42, scale=0.15)
+        outcomes = run_deployment(
+            db, "wiki", num_claims=10, crowd_redundancy=5, seed=1
+        )
+        assert outcomes["crowd"].total_answers == 50
+
+    def test_unknown_dataset_rejected(self):
+        db = load_dataset("wiki", seed=42, scale=0.15)
+        with pytest.raises(ValidationProcessError):
+            run_deployment(db, "unknown", seed=1)
+
+    def test_majority_aggregator(self):
+        db = load_dataset("wiki", seed=42, scale=0.15)
+        outcomes = run_deployment(
+            db, "wiki", num_claims=10, aggregator="majority", seed=1
+        )
+        assert 0.0 <= outcomes["crowd"].accuracy <= 1.0
+
+    def test_invalid_aggregator(self):
+        db = load_dataset("wiki", seed=42, scale=0.15)
+        with pytest.raises(ValidationProcessError):
+            run_deployment(db, "wiki", aggregator="mean", seed=1)

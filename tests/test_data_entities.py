@@ -1,0 +1,120 @@
+"""Tests for the entity value objects (§2.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.entities import Claim, ClaimLink, Document, Source
+from repro.data.stance import Stance
+from repro.errors import DataModelError
+
+
+class TestStance:
+    def test_signs(self):
+        assert Stance.SUPPORT.sign == 1
+        assert Stance.REFUTE.sign == -1
+
+    def test_flipped_is_involution(self):
+        for stance in Stance:
+            assert stance.flipped().flipped() is stance
+
+    def test_from_sign_roundtrip(self):
+        for stance in Stance:
+            assert Stance.from_sign(stance.sign) is stance
+
+    def test_from_sign_rejects_zero(self):
+        with pytest.raises(ValueError):
+            Stance.from_sign(0)
+
+
+class TestSource:
+    def test_features_are_immutable(self):
+        source = Source("s1", features=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            source.features[0] = 9.0
+
+    def test_features_coerced_to_float(self):
+        source = Source("s1", features=[1, 2])
+        assert source.features.dtype == float
+
+    def test_num_features(self):
+        assert Source("s1", features=[1.0, 2.0, 3.0]).num_features == 3
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(DataModelError):
+            Source("", features=[1.0])
+
+    def test_two_dimensional_features_rejected(self):
+        with pytest.raises(DataModelError):
+            Source("s1", features=np.ones((2, 2)))
+
+    def test_nan_features_rejected(self):
+        with pytest.raises(DataModelError):
+            Source("s1", features=[float("nan")])
+
+    def test_inf_features_rejected(self):
+        with pytest.raises(DataModelError):
+            Source("s1", features=[float("inf")])
+
+
+class TestDocument:
+    def test_claim_ids_follow_links(self):
+        doc = Document(
+            "d1",
+            source_id="s1",
+            features=[0.0],
+            claim_links=(ClaimLink("c1"), ClaimLink("c2", Stance.REFUTE)),
+        )
+        assert doc.claim_ids == ("c1", "c2")
+
+    def test_duplicate_claim_link_rejected(self):
+        with pytest.raises(DataModelError):
+            Document(
+                "d1",
+                source_id="s1",
+                features=[0.0],
+                claim_links=(ClaimLink("c1"), ClaimLink("c1", Stance.REFUTE)),
+            )
+
+    def test_default_stance_is_support(self):
+        assert ClaimLink("c1").stance is Stance.SUPPORT
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(DataModelError):
+            Document("d1", source_id="", features=[0.0])
+
+    def test_no_links_allowed(self):
+        doc = Document("d1", source_id="s1", features=[0.0])
+        assert doc.claim_ids == ()
+
+    def test_non_claimlink_rejected(self):
+        with pytest.raises(DataModelError):
+            Document(
+                "d1", source_id="s1", features=[0.0], claim_links=("c1",)
+            )
+
+    def test_invalid_stance_type_rejected(self):
+        with pytest.raises(DataModelError):
+            ClaimLink("c1", stance="support")
+
+
+class TestClaim:
+    def test_truth_optional(self):
+        assert Claim("c1").truth is None
+
+    def test_truth_bool(self):
+        assert Claim("c1", truth=True).truth is True
+
+    def test_truth_int_rejected(self):
+        with pytest.raises(DataModelError):
+            Claim("c1", truth=1)
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(DataModelError):
+            Claim("")
+
+    def test_entities_are_hashable_frozen(self):
+        claim = Claim("c1")
+        with pytest.raises(Exception):
+            claim.claim_id = "c2"

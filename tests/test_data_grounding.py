@@ -1,0 +1,125 @@
+"""Tests for groundings and the precision measures (§2.1, §8.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.grounding import Grounding, precision_improvement
+from repro.errors import DataModelError
+
+
+class TestConstruction:
+    def test_values_readonly(self):
+        g = Grounding([1, 0, 1])
+        with pytest.raises(ValueError):
+            g.values[0] = 0
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(DataModelError):
+            Grounding([0, 2, 1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataModelError):
+            Grounding([])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(DataModelError):
+            Grounding(np.zeros((2, 2)))
+
+    def test_from_probabilities_threshold(self):
+        g = Grounding.from_probabilities([0.2, 0.5, 0.9])
+        assert list(g) == [0, 1, 1]
+
+    def test_from_probabilities_custom_threshold(self):
+        g = Grounding.from_probabilities([0.2, 0.5, 0.9], threshold=0.6)
+        assert list(g) == [0, 0, 1]
+
+    def test_from_probabilities_invalid_threshold(self):
+        with pytest.raises(DataModelError):
+            Grounding.from_probabilities([0.5], threshold=1.5)
+
+
+class TestAccessors:
+    def test_len_and_getitem(self):
+        g = Grounding([1, 0])
+        assert len(g) == 2
+        assert g[0] == 1
+        assert g[1] == 0
+
+    def test_credible_indices(self):
+        g = Grounding([1, 0, 1, 0])
+        assert g.credible_indices().tolist() == [0, 2]
+
+    def test_num_credible(self):
+        assert Grounding([1, 1, 0]).num_credible() == 2
+
+    def test_equality_and_hash(self):
+        assert Grounding([1, 0]) == Grounding([1, 0])
+        assert Grounding([1, 0]) != Grounding([0, 1])
+        assert hash(Grounding([1, 0])) == hash(Grounding([1, 0]))
+
+    def test_replace_returns_new(self):
+        g = Grounding([1, 0])
+        h = g.replace(1, 1)
+        assert list(g) == [1, 0]
+        assert list(h) == [1, 1]
+
+    def test_replace_invalid_value(self):
+        with pytest.raises(DataModelError):
+            Grounding([1, 0]).replace(0, 5)
+
+    def test_as_mapping(self):
+        g = Grounding([1, 0])
+        assert g.as_mapping(["a", "b"]) == {"a": 1, "b": 0}
+
+    def test_as_mapping_length_mismatch(self):
+        with pytest.raises(DataModelError):
+            Grounding([1, 0]).as_mapping(["a"])
+
+
+class TestMetrics:
+    def test_differences_counts_flips(self):
+        a = Grounding([1, 0, 1, 0])
+        b = Grounding([1, 1, 0, 0])
+        assert a.differences(b) == 2
+        assert a.differences(a) == 0
+
+    def test_differences_length_mismatch(self):
+        with pytest.raises(DataModelError):
+            Grounding([1, 0]).differences(Grounding([1]))
+
+    def test_precision_is_agreement_over_all_claims(self):
+        g = Grounding([1, 0, 1, 1])
+        truth = np.asarray([1, 0, 0, 1])
+        assert g.precision(truth) == pytest.approx(0.75)
+
+    def test_precision_perfect(self):
+        truth = np.asarray([1, 0])
+        assert Grounding([1, 0]).precision(truth) == 1.0
+
+    def test_precision_counts_true_negatives(self):
+        # Unlike IR precision, agreement on non-credible claims counts.
+        truth = np.asarray([0, 0, 0])
+        assert Grounding([0, 0, 0]).precision(truth) == 1.0
+
+
+class TestPrecisionImprovement:
+    def test_definition(self):
+        # R_i = (P_i - P_0) / (1 - P_0)
+        assert precision_improvement(0.8, 0.6) == pytest.approx(0.5)
+
+    def test_no_improvement_is_zero(self):
+        assert precision_improvement(0.6, 0.6) == pytest.approx(0.0)
+
+    def test_full_improvement_is_one(self):
+        assert precision_improvement(1.0, 0.4) == pytest.approx(1.0)
+
+    def test_initial_one_returns_none(self):
+        assert precision_improvement(1.0, 1.0) is None
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            precision_improvement(1.2, 0.5)
+        with pytest.raises(ValueError):
+            precision_improvement(0.5, -0.1)

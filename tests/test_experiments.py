@@ -1,0 +1,168 @@
+"""Smoke tests of every experiment driver at miniature scale.
+
+Each driver must run end-to-end, return a well-formed result table, and
+satisfy the coarsest shape property the paper reports where that can be
+asserted cheaply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import EXPERIMENTS, ExperimentConfig
+from repro.experiments.reporting import ExperimentResult, series_at_grid
+
+#: Tiny configuration: one dataset, one run, minimum corpus sizes.
+TINY = ExperimentConfig(
+    seed=5,
+    runs=1,
+    scale_factor=0.4,
+    datasets=("wiki",),
+    em_iterations=1,
+    gibbs_samples=8,
+    candidate_limit=8,
+)
+
+
+class TestReporting:
+    def test_add_row_validates_width(self):
+        result = ExperimentResult("x", "X", headers=["a", "b"])
+        with pytest.raises(ValueError):
+            result.add_row(1)
+
+    def test_column_lookup(self):
+        result = ExperimentResult("x", "X", headers=["a", "b"])
+        result.add_row(1, 2)
+        result.add_row(3, 4)
+        assert result.column("b") == [2, 4]
+
+    def test_column_unknown(self):
+        result = ExperimentResult("x", "X", headers=["a"])
+        with pytest.raises(KeyError):
+            result.column("z")
+
+    def test_format_table_contains_everything(self):
+        result = ExperimentResult("x", "Title", headers=["a"], notes="hello")
+        result.add_row(1.23456)
+        text = result.format_table()
+        assert "Title" in text
+        assert "1.235" in text
+        assert "hello" in text
+
+    def test_series_at_grid_step_interpolation(self):
+        values = series_at_grid([0.1, 0.5, 0.9], [1.0, 2.0, 3.0],
+                                [0.0, 0.5, 1.0])
+        assert values == [1.0, 2.0, 3.0]
+
+    def test_series_at_grid_validation(self):
+        with pytest.raises(ValueError):
+            series_at_grid([0.1], [1.0, 2.0], [0.5])
+        with pytest.raises(ValueError):
+            series_at_grid([], [], [0.5])
+
+
+class TestExperimentConfig:
+    def test_scale_of(self):
+        config = ExperimentConfig(scale_factor=2.0)
+        assert config.scale_of("wiki") == pytest.approx(0.40)
+
+    def test_with_overrides(self):
+        config = ExperimentConfig().with_overrides(runs=9)
+        assert config.runs == 9
+        assert ExperimentConfig().runs != 9
+
+
+class TestDrivers:
+    def test_registry_complete(self):
+        expected = {
+            "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "stream_time", "table1", "table2", "table3",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_fig2_variant_rows(self):
+        result = EXPERIMENTS["fig2"].run(TINY, iterations=2)
+        variants = set(result.column("variant"))
+        assert variants == {"origin", "scalable", "parallel+partition"}
+        assert all(t >= 0 for t in result.column("avg_seconds"))
+
+    def test_fig3_bins_cover_effort(self):
+        result = EXPERIMENTS["fig3"].run(TINY, dataset="wiki")
+        assert sum(result.column("samples")) > 0
+
+    def test_fig4_histogram_sums_to_100(self):
+        result = EXPERIMENTS["fig4"].run(TINY, checkpoints=(0.0, 0.2))
+        for column in ("effort_0%", "effort_20%"):
+            assert sum(result.column(column)) == pytest.approx(100.0, abs=0.5)
+
+    def test_fig5_negative_correlation(self):
+        config = TINY.with_overrides(runs=2)
+        result = EXPERIMENTS["fig5"].run(config)
+        rows = dict(zip(result.column("statistic"), result.column("value")))
+        assert rows["pairs"] > 0
+        assert rows["pearson"] < 0.2  # strongly negative at real scale
+
+    def test_fig6_rows_per_strategy(self):
+        result = EXPERIMENTS["fig6"].run(TINY, strategies=("random", "info"))
+        assert len(result.rows) == 2
+        for effort in result.column("effort_to_0.9"):
+            assert 0.0 <= effort <= 1.0
+
+    def test_table1_detection_rates_are_percentages(self):
+        result = EXPERIMENTS["table1"].run(TINY, probabilities=(0.2,),
+                                           effort_fraction=0.5)
+        value = result.rows[0][1]
+        assert 0.0 <= value <= 100.0
+
+    def test_fig7_runs_with_errors(self):
+        result = EXPERIMENTS["fig7"].run(
+            TINY, strategies=("random",), error_probability=0.2
+        )
+        assert len(result.rows) == 1
+
+    def test_fig8_saved_effort_rows(self):
+        result = EXPERIMENTS["fig8"].run(
+            TINY, skip_probabilities=(0.25,), targets=(0.7,)
+        )
+        assert len(result.rows) == 1
+        saved = result.rows[0][2]
+        assert -100.0 <= saved <= 100.0
+
+    def test_fig9_indicator_columns(self):
+        result = EXPERIMENTS["fig9"].run(TINY, dataset="wiki")
+        assert result.headers == [
+            "effort", "prec_improv_%", "URR_%", "CNG_%", "PRE_%", "PIR_%",
+        ]
+        assert len(result.rows) > 0
+
+    def test_fig10_cost_saving_monotone_in_k(self):
+        result = EXPERIMENTS["fig10"].run(
+            TINY, batch_sizes=(1, 5), effort_fraction=0.4
+        )
+        savings = result.column("CS(alpha=0.5)_%")
+        assert savings[1] > savings[0]
+
+    def test_fig11_has_dynamic_row(self):
+        result = EXPERIMENTS["fig11"].run(
+            TINY, batch_sizes=(1, 5), thresholds=(0.7,)
+        )
+        ks = result.column("k")
+        assert "dynamic" in ks
+
+    def test_stream_time_rows(self):
+        result = EXPERIMENTS["stream_time"].run(TINY)
+        assert result.column("dataset") == ["wiki"]
+        assert result.rows[0][2] >= 0.0
+
+    def test_table2_tau_in_range(self):
+        result = EXPERIMENTS["table2"].run(TINY, periods=(0.3,))
+        tau = result.rows[0][1]
+        assert -1.0 <= tau <= 1.0
+
+    def test_table3_expert_slower_more_accurate(self):
+        result = EXPERIMENTS["table3"].run(TINY, num_claims=20)
+        row = result.rows[0]
+        dataset, expert_time, crowd_time, expert_acc, crowd_acc = row
+        assert expert_time > crowd_time
+        assert expert_acc >= crowd_acc - 0.15

@@ -1,0 +1,165 @@
+"""Tests for the TRON optimiser (Lin et al. 2008) used by the M-step."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crf.potentials import sigmoid
+from repro.errors import InferenceError
+from repro.inference.tron import (
+    TronResult,
+    WeightedLogisticLoss,
+    tron_minimize,
+)
+
+
+def make_separable_problem(n=200, seed=0):
+    """Linearly separable 2-feature logistic problem."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 2))
+    truth = np.asarray([1.5, -2.0])
+    targets = (sigmoid(x @ truth) > rng.random(n)).astype(float)
+    weights = np.ones(n)
+    return WeightedLogisticLoss(x, targets, weights, regularization=1.0), truth
+
+
+class TestLossValidation:
+    def test_misaligned_targets(self):
+        with pytest.raises(InferenceError):
+            WeightedLogisticLoss(np.ones((3, 2)), np.ones(2), np.ones(3), 1.0)
+
+    def test_misaligned_weights(self):
+        with pytest.raises(InferenceError):
+            WeightedLogisticLoss(np.ones((3, 2)), np.ones(3), np.ones(2), 1.0)
+
+    def test_negative_weights(self):
+        with pytest.raises(InferenceError):
+            WeightedLogisticLoss(np.ones((3, 2)), np.ones(3), -np.ones(3), 1.0)
+
+    def test_targets_out_of_range(self):
+        with pytest.raises(InferenceError):
+            WeightedLogisticLoss(np.ones((3, 2)), 2 * np.ones(3), np.ones(3), 1.0)
+
+    def test_non_positive_regularization(self):
+        with pytest.raises(InferenceError):
+            WeightedLogisticLoss(np.ones((3, 2)), np.ones(3), np.ones(3), 0.0)
+
+    def test_one_dimensional_design_rejected(self):
+        with pytest.raises(InferenceError):
+            WeightedLogisticLoss(np.ones(3), np.ones(3), np.ones(3), 1.0)
+
+
+class TestDerivatives:
+    def test_gradient_matches_finite_differences(self):
+        loss, _ = make_separable_problem(n=50)
+        w = np.asarray([0.3, -0.7])
+        grad = loss.gradient(w)
+        eps = 1e-6
+        for i in range(2):
+            delta = np.zeros(2)
+            delta[i] = eps
+            numeric = (loss.value(w + delta) - loss.value(w - delta)) / (2 * eps)
+            assert grad[i] == pytest.approx(numeric, rel=1e-4)
+
+    def test_hessian_vector_matches_finite_differences(self):
+        loss, _ = make_separable_problem(n=50)
+        w = np.asarray([0.3, -0.7])
+        v = np.asarray([0.5, 1.0])
+        curvature = loss.hessian_diag(w)
+        hv = loss.hessian_vector(curvature, v)
+        eps = 1e-6
+        numeric = (loss.gradient(w + eps * v) - loss.gradient(w - eps * v)) / (
+            2 * eps
+        )
+        assert np.allclose(hv, numeric, rtol=1e-3, atol=1e-6)
+
+    def test_value_convex_along_segment(self):
+        loss, _ = make_separable_problem(n=50)
+        a = np.asarray([0.0, 0.0])
+        b = np.asarray([2.0, -1.0])
+        mid = 0.5 * (a + b)
+        assert loss.value(mid) <= 0.5 * (loss.value(a) + loss.value(b)) + 1e-9
+
+
+class TestOptimisation:
+    def test_converges_to_gradient_tolerance(self):
+        loss, _ = make_separable_problem()
+        result = tron_minimize(loss, gradient_tolerance=1e-4)
+        assert result.converged
+        assert result.gradient_norm <= 1e-4 * np.linalg.norm(
+            loss.gradient(np.zeros(2))
+        ) + 1e-9
+
+    def test_recovers_signal_direction(self):
+        loss, truth = make_separable_problem(n=800, seed=1)
+        result = tron_minimize(loss)
+        # L2 shrinkage changes the magnitude, not the direction.
+        cosine = (result.weights @ truth) / (
+            np.linalg.norm(result.weights) * np.linalg.norm(truth)
+        )
+        assert cosine > 0.95
+
+    def test_matches_scipy_reference(self):
+        from scipy.optimize import minimize
+
+        loss, _ = make_separable_problem(n=300, seed=2)
+        ours = tron_minimize(loss, gradient_tolerance=1e-6)
+        reference = minimize(
+            loss.value, np.zeros(2), jac=loss.gradient, method="L-BFGS-B"
+        )
+        assert ours.objective == pytest.approx(reference.fun, rel=1e-5)
+
+    def test_warm_start_takes_fewer_iterations(self):
+        loss, _ = make_separable_problem(n=400, seed=3)
+        cold = tron_minimize(loss, gradient_tolerance=1e-5)
+        warm = tron_minimize(
+            loss, initial=cold.weights, gradient_tolerance=1e-5
+        )
+        assert warm.iterations <= cold.iterations
+        assert warm.iterations <= 1
+
+    def test_weighted_examples_shift_solution(self):
+        x = np.asarray([[1.0], [1.0]])
+        targets = np.asarray([1.0, 0.0])
+        balanced = tron_minimize(
+            WeightedLogisticLoss(x, targets, np.asarray([1.0, 1.0]), 0.01)
+        )
+        skewed = tron_minimize(
+            WeightedLogisticLoss(x, targets, np.asarray([10.0, 1.0]), 0.01)
+        )
+        # More weight on the positive example pulls the weight up.
+        assert skewed.weights[0] > balanced.weights[0]
+
+    def test_zero_weight_examples_ignored(self):
+        x = np.asarray([[1.0], [1.0]])
+        targets = np.asarray([1.0, 0.0])
+        result = tron_minimize(
+            WeightedLogisticLoss(x, targets, np.asarray([1.0, 0.0]), 0.01)
+        )
+        assert result.weights[0] > 1.0  # behaves like positive-only data
+
+    def test_initial_shape_validated(self):
+        loss, _ = make_separable_problem(n=20)
+        with pytest.raises(InferenceError):
+            tron_minimize(loss, initial=np.zeros(5))
+
+    def test_result_type(self):
+        loss, _ = make_separable_problem(n=20)
+        assert isinstance(tron_minimize(loss), TronResult)
+
+    def test_strong_regularization_shrinks_weights(self):
+        x = np.asarray([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        targets = np.asarray([1.0, 0.0, 1.0])
+        weak = tron_minimize(
+            WeightedLogisticLoss(x, targets, np.ones(3), regularization=0.01)
+        )
+        strong = tron_minimize(
+            WeightedLogisticLoss(x, targets, np.ones(3), regularization=100.0)
+        )
+        assert np.linalg.norm(strong.weights) < np.linalg.norm(weak.weights)
+
+    def test_iteration_budget_respected(self):
+        loss, _ = make_separable_problem(n=400, seed=4)
+        result = tron_minimize(loss, max_iterations=1, gradient_tolerance=1e-12)
+        assert result.iterations <= 1

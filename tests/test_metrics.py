@@ -1,0 +1,107 @@
+"""Tests for evaluation metrics (§8.1): correlations and effort."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.metrics import (
+    kendall_tau_b,
+    pearson_correlation,
+    sequence_rank_correlation,
+    user_effort,
+)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_input_returns_zero(self):
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=50)
+        y = 0.5 * x + rng.normal(size=50)
+        ours = pearson_correlation(x, y)
+        reference = scipy_stats.pearsonr(x, y).statistic
+        assert ours == pytest.approx(reference, abs=1e-12)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1], [2])
+
+
+class TestKendallTauB:
+    def test_identical_order(self):
+        assert kendall_tau_b([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_reversed_order(self):
+        assert kendall_tau_b([1, 2, 3, 4], [40, 30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_matches_scipy_with_ties(self):
+        rng = np.random.default_rng(1)
+        x = rng.integers(0, 5, size=40).astype(float)
+        y = rng.integers(0, 5, size=40).astype(float)
+        ours = kendall_tau_b(x, y)
+        reference = scipy_stats.kendalltau(x, y).statistic
+        assert ours == pytest.approx(reference, abs=1e-12)
+
+    def test_fully_tied_returns_zero(self):
+        assert kendall_tau_b([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            kendall_tau_b([1, 2], [1, 2, 3])
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            kendall_tau_b([1], [1])
+
+
+class TestSequenceRankCorrelation:
+    def test_same_sequence(self):
+        assert sequence_rank_correlation([3, 1, 2], [3, 1, 2]) == pytest.approx(1.0)
+
+    def test_reversed_sequence(self):
+        assert sequence_rank_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_partial_overlap(self):
+        value = sequence_rank_correlation([1, 2, 3, 4], [1, 2])
+        assert -1.0 <= value <= 1.0
+
+    def test_disjoint_sequences_defined(self):
+        value = sequence_rank_correlation([1, 2], [3, 4])
+        assert -1.0 <= value <= 1.0
+
+    def test_string_items(self):
+        assert sequence_rank_correlation(
+            ["a", "b", "c"], ["a", "b", "c"]
+        ) == pytest.approx(1.0)
+
+    def test_single_item_rejected(self):
+        with pytest.raises(ValueError):
+            sequence_rank_correlation([1], [1])
+
+
+class TestUserEffort:
+    def test_definition(self):
+        assert user_effort(5, 20) == pytest.approx(0.25)
+
+    def test_zero_validated(self):
+        assert user_effort(0, 20) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            user_effort(1, 0)
+        with pytest.raises(ValueError):
+            user_effort(-1, 10)

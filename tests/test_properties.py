@@ -1,0 +1,196 @@
+"""Property-based tests (hypothesis) of core invariants.
+
+Covers: entropy bounds and symmetry, grounding algebra, correlation
+bounds and antisymmetry, TRON optimality conditions, the hybrid score's
+monotonicity, the cost model, and the submodularity of the batch utility.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.crf.entropy import approximate_entropy, binary_entropy
+from repro.data.grounding import Grounding
+from repro.effort.batching import batch_utility
+from repro.effort.cost import cost_saving
+from repro.guidance.hybrid_score import hybrid_score
+from repro.inference.tron import WeightedLogisticLoss, tron_minimize
+from repro.metrics.correlation import kendall_tau_b, pearson_correlation
+
+probabilities = arrays(
+    float,
+    st.integers(1, 30),
+    elements=st.floats(0.0, 1.0, allow_nan=False),
+)
+
+
+class TestEntropyProperties:
+    @given(probabilities)
+    def test_entropy_non_negative_and_bounded(self, probs):
+        total = approximate_entropy(probs)
+        assert 0.0 <= total <= probs.size * math.log(2) + 1e-9
+
+    @given(probabilities)
+    def test_entropy_symmetric_under_complement(self, probs):
+        assert approximate_entropy(probs) == pytest.approx(
+            approximate_entropy(1.0 - probs), abs=1e-9
+        )
+
+    @given(st.floats(0.0, 0.5, allow_nan=False))
+    def test_binary_entropy_monotone_towards_half(self, p):
+        q = min(p + 0.1, 0.5)
+        assert binary_entropy(np.asarray([q]))[0] >= binary_entropy(
+            np.asarray([p])
+        )[0] - 1e-12
+
+
+class TestGroundingProperties:
+    binary_vectors = arrays(
+        np.int8, st.integers(1, 40), elements=st.integers(0, 1)
+    )
+
+    @given(binary_vectors, binary_vectors)
+    def test_differences_symmetric(self, a, b):
+        if a.size != b.size:
+            return
+        ga, gb = Grounding(a), Grounding(b)
+        assert ga.differences(gb) == gb.differences(ga)
+
+    @given(binary_vectors)
+    def test_self_precision_is_one(self, values):
+        grounding = Grounding(values)
+        assert grounding.precision(values) == 1.0
+
+    @given(binary_vectors)
+    def test_complement_precision_is_zero(self, values):
+        grounding = Grounding(values)
+        assert grounding.precision(1 - values) == 0.0
+
+    @given(binary_vectors, binary_vectors)
+    def test_precision_complements_differences(self, a, b):
+        if a.size != b.size:
+            return
+        grounding = Grounding(a)
+        assert grounding.precision(b) == pytest.approx(
+            1.0 - grounding.differences(Grounding(b)) / a.size
+        )
+
+
+class TestCorrelationProperties:
+    vectors = arrays(
+        float,
+        st.integers(3, 25),
+        elements=st.floats(-100, 100, allow_nan=False),
+    )
+
+    @given(vectors)
+    def test_pearson_self_correlation(self, x):
+        if np.std(x) == 0:
+            assert pearson_correlation(x, x) == 0.0
+        else:
+            assert pearson_correlation(x, x) == pytest.approx(1.0)
+
+    @given(vectors, vectors)
+    def test_pearson_bounded(self, x, y):
+        if x.size != y.size:
+            return
+        assert -1.0 - 1e-9 <= pearson_correlation(x, y) <= 1.0 + 1e-9
+
+    @given(vectors, vectors)
+    def test_kendall_antisymmetric_under_negation(self, x, y):
+        if x.size != y.size:
+            return
+        assert kendall_tau_b(x, -np.asarray(y)) == pytest.approx(
+            -kendall_tau_b(x, y), abs=1e-9
+        )
+
+    @given(vectors, vectors)
+    def test_kendall_symmetric_in_arguments(self, x, y):
+        if x.size != y.size:
+            return
+        assert kendall_tau_b(x, y) == pytest.approx(
+            kendall_tau_b(y, x), abs=1e-9
+        )
+
+
+class TestHybridScoreProperties:
+    unit = st.floats(0.0, 1.0, allow_nan=False)
+
+    @given(unit, unit, unit)
+    def test_bounded(self, error, ratio, h):
+        assert 0.0 <= hybrid_score(error, ratio, h) < 1.0
+
+    @given(unit, unit)
+    def test_monotone_in_error_early(self, a, b):
+        low, high = min(a, b), max(a, b)
+        assert hybrid_score(high, 0.5, 0.0) >= hybrid_score(low, 0.5, 0.0)
+
+    @given(unit, unit)
+    def test_monotone_in_ratio_late(self, a, b):
+        low, high = min(a, b), max(a, b)
+        assert hybrid_score(0.5, high, 1.0) >= hybrid_score(0.5, low, 1.0)
+
+
+class TestCostModelProperties:
+    @given(st.integers(1, 100), st.floats(0.05, 3.0, allow_nan=False))
+    def test_cost_saving_in_unit_interval(self, k, alpha):
+        assert 0.0 <= cost_saving(k, alpha) < 1.0
+
+    @given(st.integers(1, 50), st.floats(0.05, 3.0, allow_nan=False))
+    def test_cost_saving_monotone_in_k(self, k, alpha):
+        assert cost_saving(k + 1, alpha) >= cost_saving(k, alpha)
+
+
+class TestTronProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_gradient_small_at_solution(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(30, 2))
+        targets = (rng.random(30) > 0.5).astype(float)
+        loss = WeightedLogisticLoss(x, targets, np.ones(30), 1.0)
+        result = tron_minimize(loss, gradient_tolerance=1e-5)
+        initial_norm = np.linalg.norm(loss.gradient(np.zeros(2)))
+        assert result.gradient_norm <= 1e-5 * initial_norm + 1e-8
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_objective_not_worse_than_origin(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(20, 3))
+        targets = (rng.random(20) > 0.5).astype(float)
+        loss = WeightedLogisticLoss(x, targets, np.ones(20), 1.0)
+        result = tron_minimize(loss)
+        assert result.objective <= loss.value(np.zeros(3)) + 1e-9
+
+
+class TestBatchUtilityProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_submodularity_of_marginal_gains(self, seed):
+        """F(A+c) - F(A) >= F(B+c) - F(B) for A ⊆ B, c ∉ B."""
+        rng = np.random.default_rng(seed)
+        n = 6
+        gains = rng.random(n)
+        raw = rng.random((n, n))
+        correlation = (raw + raw.T) / 2
+        np.fill_diagonal(correlation, 1.0)
+        correlation /= correlation.max()
+        w = 1.0
+
+        small = [0]
+        big = [0, 1, 2]
+        candidate = 4
+
+        def marginal(members):
+            with_c = batch_utility(gains, correlation, members + [candidate], w)
+            without = batch_utility(gains, correlation, members, w)
+            return with_c - without
+
+        assert marginal(small) >= marginal(big) - 1e-9
