@@ -4,22 +4,21 @@ Every benchmark regenerates one table/figure of the paper at a reduced
 corpus scale, times the full experiment driver with pytest-benchmark, and
 writes the rendered result table to ``benchmarks/results/<name>.txt`` so
 the reproduction output can be inspected side by side with the paper.
+
+Path setup (``src/`` and the repo root on ``sys.path``) is done by the
+repo-root ``conftest.py``, which pytest loads for every run including
+``pytest benchmarks``; shared corpus fixtures live in
+``tests/fixtures.py``.
 """
 
 from __future__ import annotations
 
-import sys
 from pathlib import Path
 
 import pytest
 
-_REPO_ROOT = Path(__file__).parent.parent
-_SRC = _REPO_ROOT / "src"
-if str(_SRC) not in sys.path:
-    sys.path.insert(0, str(_SRC))
-
-from repro.experiments import ExperimentConfig  # noqa: E402
-from repro.experiments.reporting import ExperimentResult  # noqa: E402
+from repro.experiments import ExperimentConfig
+from repro.experiments.reporting import ExperimentResult
 
 #: Directory collecting the rendered result tables.
 RESULTS_DIR = Path(__file__).parent / "results"

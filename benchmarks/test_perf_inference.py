@@ -1,0 +1,228 @@
+"""Performance-regression micro-benchmarks of the inference hot path.
+
+Speed is a tested property: the vectorised ``numpy`` engine must beat the
+``reference`` (seed) implementation by at least the recorded margin on
+the two hot-path units — a full Gibbs sampling pass (the E-step) and one
+full EM iteration (E-step + TRON M-step) — at the seed benchmark scale.
+Because absolute wall-clock depends on the machine, the guarded quantity
+is the *relative* speedup measured on the same host in the same process,
+which is stable across hardware; ``benchmarks/perf_baseline.json`` holds
+the recorded values.
+
+Modes
+-----
+* default — full measurement (best of 5), asserts the hard floor (3×)
+  and the baseline-relative bound.
+* ``PERF_SMOKE=1`` — 2 repetitions and a relaxed floor, for CI.
+* ``PERF_RECORD=1`` — re-records ``perf_baseline.json`` from the current
+  measurement (use after intentional hot-path changes).
+
+Every run writes ``benchmarks/results/perf_inference.txt`` with the raw
+numbers, and always cross-checks that both engines produce *identical*
+marginals — a perf win that changes results would be a bug, not a win.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.crf.gibbs import GibbsSampler
+from repro.crf.model import CrfModel
+from repro.crf.weights import CrfWeights
+from repro.datasets import load_dataset
+from repro.inference.engine import create_engine
+from repro.inference.icrf import ICrf
+
+BASELINE_PATH = Path(__file__).parent / "perf_baseline.json"
+RESULTS_PATH = Path(__file__).parent / "results" / "perf_inference.txt"
+
+#: Seed benchmark scale — matches the reduced-corpus scale of the
+#: experiment benchmarks (see ``bench_config`` in ``conftest.py``).
+SCALE = 0.6
+DATASET_SEED = 42
+
+SMOKE = bool(os.environ.get("PERF_SMOKE"))
+RECORD = bool(os.environ.get("PERF_RECORD"))
+REPEATS = 2 if SMOKE else 5
+#: Hard floor on the measured speedups (acceptance: ≥ 3× full mode).
+HARD_FLOOR = 2.0 if SMOKE else 3.0
+#: Fraction of the recorded baseline speedup that must be retained.
+BASELINE_FRACTION = 0.5
+
+
+def _best_of(callable_, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _bench_database():
+    return load_dataset("wiki", seed=DATASET_SEED, scale=SCALE)
+
+
+def _nontrivial_weights(database) -> CrfWeights:
+    rng = np.random.default_rng(17)
+    size = 2 + database.document_features.shape[1] \
+        + database.source_features.shape[1]
+    values = 0.4 * rng.normal(size=size)
+    values[-1] = 0.3  # non-zero coupling exercises the coupled sweep path
+    return CrfWeights(values)
+
+
+def _sampling_pass(backend: str):
+    """Timed unit: one full Gibbs sampling pass (burn-in + samples)."""
+    database = _bench_database()
+    model = CrfModel(database, weights=_nontrivial_weights(database))
+    sampler = GibbsSampler(
+        model, burn_in=5, num_samples=15, seed=9,
+        engine=create_engine(model, backend),
+    )
+    sampler.sample()  # warm-up: chain init + engine caches
+    elapsed = _best_of(sampler.sample)
+    return elapsed, sampler.sample().marginals
+
+
+def _em_iteration(backend: str):
+    """Timed unit: one full EM iteration (Gibbs E-step + TRON M-step)."""
+    database = _bench_database()
+    state = database.clone_state()
+
+    def run():
+        database.restore_state(state)
+        icrf = ICrf(
+            database, em_iterations=1, num_samples=12, burn_in=4,
+            engine=backend, seed=123,
+        )
+        icrf.infer()
+
+    elapsed = _best_of(run)
+    database.restore_state(state)
+    icrf = ICrf(
+        database, em_iterations=1, num_samples=12, burn_in=4,
+        engine=backend, seed=123,
+    )
+    return elapsed, icrf.infer().marginals
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    sweep_ref, marg_sweep_ref = _sampling_pass("reference")
+    sweep_np, marg_sweep_np = _sampling_pass("numpy")
+    em_ref, marg_em_ref = _em_iteration("reference")
+    em_np, marg_em_np = _em_iteration("numpy")
+    data = {
+        "sweep": {"reference": sweep_ref, "numpy": sweep_np,
+                  "speedup": sweep_ref / sweep_np},
+        "em": {"reference": em_ref, "numpy": em_np,
+               "speedup": em_ref / em_np},
+        "combined_speedup": (sweep_ref + em_ref) / (sweep_np + em_np),
+        "equivalent": {
+            "sweep": bool(np.array_equal(marg_sweep_ref, marg_sweep_np)),
+            "em": bool(np.array_equal(marg_em_ref, marg_em_np)),
+        },
+    }
+    _write_results(data)
+    if RECORD:
+        _record_baseline(data)
+    return data
+
+
+def _write_results(data) -> None:
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    lines = [
+        "Inference hot-path micro-benchmark "
+        f"(wiki scale={SCALE}, seed={DATASET_SEED}, "
+        f"best of {REPEATS}{', smoke' if SMOKE else ''})",
+        "",
+        f"{'unit':<28}{'reference':>12}{'numpy':>12}{'speedup':>10}",
+        f"{'gibbs sampling pass':<28}"
+        f"{data['sweep']['reference'] * 1e3:>10.2f}ms"
+        f"{data['sweep']['numpy'] * 1e3:>10.2f}ms"
+        f"{data['sweep']['speedup']:>9.2f}x",
+        f"{'full EM iteration':<28}"
+        f"{data['em']['reference'] * 1e3:>10.2f}ms"
+        f"{data['em']['numpy'] * 1e3:>10.2f}ms"
+        f"{data['em']['speedup']:>9.2f}x",
+        f"{'sweep + EM combined':<28}{'':>12}{'':>12}"
+        f"{data['combined_speedup']:>9.2f}x",
+        "",
+        "numerical equivalence: "
+        f"sweep={'ok' if data['equivalent']['sweep'] else 'FAIL'} "
+        f"em={'ok' if data['equivalent']['em'] else 'FAIL'}",
+        "",
+    ]
+    RESULTS_PATH.write_text("\n".join(lines), encoding="utf-8")
+    print("\n".join(lines))
+
+
+def _record_baseline(data) -> None:
+    payload = {
+        "description": "Recorded numpy-vs-reference speedups of the "
+                       "inference hot path; regression tests assert the "
+                       "current speedup stays above baseline_fraction of "
+                       "these and above the hard floor.",
+        "dataset": "wiki",
+        "scale": SCALE,
+        "dataset_seed": DATASET_SEED,
+        "sweep_speedup": round(data["sweep"]["speedup"], 2),
+        "em_speedup": round(data["em"]["speedup"], 2),
+        "combined_speedup": round(data["combined_speedup"], 2),
+        "baseline_fraction": BASELINE_FRACTION,
+        "re_record": "PERF_RECORD=1 PYTHONPATH=src python -m pytest "
+                     "benchmarks/test_perf_inference.py",
+    }
+    BASELINE_PATH.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def _baseline():
+    if not BASELINE_PATH.exists():
+        pytest.fail(
+            f"{BASELINE_PATH} missing; record it with PERF_RECORD=1"
+        )
+    return json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+
+
+def _floor(baseline_speedup: float) -> float:
+    """Required speedup: in smoke mode only the relaxed hard floor
+    applies (CI runners are too noisy for baseline-relative bounds)."""
+    if SMOKE:
+        return HARD_FLOOR
+    return max(HARD_FLOOR, baseline_speedup * BASELINE_FRACTION)
+
+
+class TestNumericalEquivalence:
+    def test_engines_produce_identical_marginals(self, measurements):
+        assert measurements["equivalent"]["sweep"]
+        assert measurements["equivalent"]["em"]
+
+
+class TestThroughputRegression:
+    def test_sampling_pass_speedup(self, measurements):
+        floor = _floor(_baseline()["sweep_speedup"])
+        assert measurements["sweep"]["speedup"] >= floor, (
+            f"gibbs pass speedup {measurements['sweep']['speedup']:.2f}x "
+            f"fell below {floor:.2f}x"
+        )
+
+    def test_em_iteration_speedup(self, measurements):
+        floor = _floor(_baseline()["em_speedup"])
+        assert measurements["em"]["speedup"] >= floor, (
+            f"EM iteration speedup {measurements['em']['speedup']:.2f}x "
+            f"fell below {floor:.2f}x"
+        )
+
+    def test_combined_speedup_meets_acceptance(self, measurements):
+        """Acceptance criterion: sweep + one full EM iteration ≥ 3×."""
+        floor = _floor(_baseline()["combined_speedup"])
+        assert measurements["combined_speedup"] >= floor

@@ -8,6 +8,8 @@ PEP 660); this shim makes ``pytest`` work from a clean checkout too.
 import sys
 from pathlib import Path
 
-_SRC = Path(__file__).parent / "src"
-if str(_SRC) not in sys.path:
-    sys.path.insert(0, str(_SRC))
+_ROOT = Path(__file__).parent
+_SRC = _ROOT / "src"
+for path in (str(_SRC), str(_ROOT)):
+    if path not in sys.path:
+        sys.path.insert(0, path)

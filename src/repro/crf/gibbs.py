@@ -21,14 +21,16 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, TYPE_CHECKING
 
 import numpy as np
 
 from repro.crf.model import CrfModel
-from repro.crf.potentials import sigmoid
 from repro.errors import InferenceError
 from repro.utils.rng import RandomState, ensure_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.inference.engine import InferenceEngine
 
 
 @dataclass
@@ -61,6 +63,9 @@ class GibbsSampler:
         num_samples: Recorded samples per call.
         thin: Sweeps between recorded samples.
         seed: Seed or generator.
+        engine: Hot-path engine executing the sweeps; defaults to the
+            configured default backend for ``model`` (see
+            :mod:`repro.inference.engine`).
     """
 
     def __init__(
@@ -70,6 +75,7 @@ class GibbsSampler:
         num_samples: int = 20,
         thin: int = 1,
         seed: RandomState = None,
+        engine: Optional["InferenceEngine"] = None,
     ) -> None:
         if burn_in < 0:
             raise InferenceError(f"burn_in must be non-negative, got {burn_in}")
@@ -77,7 +83,10 @@ class GibbsSampler:
             raise InferenceError(f"num_samples must be positive, got {num_samples}")
         if thin <= 0:
             raise InferenceError(f"thin must be positive, got {thin}")
+        from repro.inference.engine import create_engine
+
         self._model = model
+        self._engine = create_engine(model, engine)
         self._burn_in = burn_in
         self._num_samples = num_samples
         self._thin = thin
@@ -88,6 +97,11 @@ class GibbsSampler:
     def model(self) -> CrfModel:
         """The sampled CRF model."""
         return self._model
+
+    @property
+    def engine(self) -> "InferenceEngine":
+        """The engine executing the sweeps."""
+        return self._engine
 
     @property
     def state(self) -> Optional[np.ndarray]:
@@ -108,8 +122,9 @@ class GibbsSampler:
 
     def _pin_labels(self, spins: np.ndarray) -> None:
         """Force labelled claims to their user-provided value."""
-        for claim_index, label in self._model.database.labels.items():
-            spins[claim_index] = 1.0 if label else -1.0
+        indices, values = self._model.database.label_arrays()
+        if indices.size:
+            spins[indices] = np.where(values > 0, 1.0, -1.0)
 
     def sample(self, claim_subset: Optional[np.ndarray] = None) -> GibbsResult:
         """Run the chain and collect samples.
@@ -142,8 +157,9 @@ class GibbsSampler:
             )
 
         marginals = np.asarray(database.probabilities, dtype=float).copy()
-        for claim_index, label in database.labels.items():
-            marginals[claim_index] = float(label)
+        label_indices, label_values = database.label_arrays()
+        if label_indices.size:
+            marginals[label_indices] = label_values
 
         if free_claims.size == 0:
             configuration = (spins > 0).astype(np.int8)
@@ -181,23 +197,4 @@ class GibbsSampler:
         self, free_claims: np.ndarray, spins: np.ndarray, stats: np.ndarray
     ) -> None:
         """One random-order sequential scan over the free claims."""
-        model = self._model
-        order = self._rng.permutation(free_claims.size)
-        thresholds = self._rng.random(free_claims.size)
-        for position in order:
-            claim_index = int(free_claims[position])
-            logit = model.conditional_logit(claim_index, spins, stats)
-            probability = float(sigmoid(np.asarray(logit)))
-            new_spin = 1.0 if thresholds[position] < probability else -1.0
-            old_spin = spins[claim_index]
-            if new_spin == old_spin:
-                continue
-            delta = new_spin - old_spin
-            rows = model.pairs_of_claim(claim_index)
-            if rows.size:
-                np.add.at(
-                    stats,
-                    model.pair_source[rows],
-                    model.pair_stance[rows] * delta,
-                )
-            spins[claim_index] = new_spin
+        self._engine.sweep(free_claims, spins, stats, self._rng)

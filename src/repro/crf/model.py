@@ -90,22 +90,24 @@ class CrfModel:
         """
         featurizer = self._featurizer
         database = self._database
-        pair_map: dict = {}
         clique_claim = featurizer.clique_claim
         clique_source = featurizer.clique_source
         signs = featurizer.stance_signs
-        for idx in range(clique_claim.size):
-            key = (int(clique_claim[idx]), int(clique_source[idx]))
-            pair_map[key] = pair_map.get(key, 0.0) + float(signs[idx])
-
-        count = len(pair_map)
-        self._pair_claim = np.empty(count, dtype=np.intp)
-        self._pair_source = np.empty(count, dtype=np.intp)
-        self._pair_stance = np.empty(count, dtype=float)
-        for row, ((claim, source), net_stance) in enumerate(sorted(pair_map.items())):
-            self._pair_claim[row] = claim
-            self._pair_source[row] = source
-            self._pair_stance[row] = net_stance
+        num_sources = max(database.num_sources, 1)
+        if clique_claim.size:
+            # Composite (claim, source) key; np.unique sorts it exactly like
+            # lexicographic ordering of the pairs.
+            keys = clique_claim * num_sources + clique_source
+            unique_keys, inverse = np.unique(keys, return_inverse=True)
+            self._pair_claim = (unique_keys // num_sources).astype(np.intp)
+            self._pair_source = (unique_keys % num_sources).astype(np.intp)
+            self._pair_stance = np.bincount(
+                inverse, weights=signs, minlength=unique_keys.size
+            )
+        else:
+            self._pair_claim = np.empty(0, dtype=np.intp)
+            self._pair_source = np.empty(0, dtype=np.intp)
+            self._pair_stance = np.empty(0, dtype=float)
 
         self._source_clique_count = np.bincount(
             clique_source, minlength=database.num_sources
@@ -172,6 +174,16 @@ class CrfModel:
     def pair_stance(self) -> np.ndarray:
         """Net stance ``B_{s,c}`` per pair row."""
         return self._pair_stance
+
+    @property
+    def pair_order(self) -> np.ndarray:
+        """Pair rows sorted by claim (CSR order over the pair table)."""
+        return self._pair_order
+
+    @property
+    def pair_ptr(self) -> np.ndarray:
+        """Per-claim slice boundaries into :attr:`pair_order`."""
+        return self._pair_ptr
 
     @property
     def source_clique_count(self) -> np.ndarray:

@@ -22,7 +22,7 @@ evidence into per-claim *local fields*.  Aggregation modes:
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -58,19 +58,13 @@ class CliqueFeaturizer:
         m_s = database.source_features.shape[1]
         self._feature_dim = 1 + m_d + m_s
 
-        clique_claim = np.empty(num_cliques, dtype=np.intp)
-        clique_source = np.empty(num_cliques, dtype=np.intp)
-        stance_signs = np.empty(num_cliques, dtype=float)
+        clique_claim, clique_document, clique_source, stance_signs = (
+            database.clique_arrays()
+        )
         features = np.empty((num_cliques, self._feature_dim), dtype=float)
-        for idx, clique in enumerate(database.cliques):
-            clique_claim[idx] = clique.claim_index
-            clique_source[idx] = clique.source_index
-            stance_signs[idx] = float(clique.stance_sign)
-            features[idx, 0] = 1.0
-            features[idx, 1 : 1 + m_d] = database.document_features[
-                clique.document_index
-            ]
-            features[idx, 1 + m_d :] = database.source_features[clique.source_index]
+        features[:, 0] = 1.0
+        features[:, 1 : 1 + m_d] = database.document_features[clique_document]
+        features[:, 1 + m_d :] = database.source_features[clique_source]
         # The stance sign multiplies the whole evidence term (Eq. 3).
         self._signed_features = features * stance_signs[:, None]
         self._clique_claim = clique_claim
@@ -83,6 +77,7 @@ class CliqueFeaturizer:
         counts = np.bincount(clique_claim, minlength=database.num_claims)
         self._claim_ptr = np.concatenate(([0], np.cumsum(counts)))
         self._claim_degree = counts.astype(float)
+        self._design_matrix: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
 
@@ -154,10 +149,18 @@ class CliqueFeaturizer:
         Row ``c`` is ``scale(c) * Σ_{π ∈ cliques(c)} sign_π [1, f^D, f^S]``,
         so the local field of claim ``c`` equals the dot product of this row
         with the feature weights.  Claims with no cliques get a zero row.
+
+        The matrix depends only on the database structure, so it is built
+        once and cached — every EM round and streaming update reuses the
+        same ``X`` instead of re-aggregating the cliques.
         """
-        sums = np.zeros((self._database.num_claims, self._feature_dim))
-        np.add.at(sums, self._clique_claim, self._signed_features)
-        return sums * self.aggregation_scale()[:, None]
+        if self._design_matrix is None:
+            sums = np.zeros((self._database.num_claims, self._feature_dim))
+            np.add.at(sums, self._clique_claim, self._signed_features)
+            matrix = sums * self.aggregation_scale()[:, None]
+            matrix.flags.writeable = False
+            self._design_matrix = matrix
+        return self._design_matrix
 
     def local_fields(self, feature_weights: np.ndarray) -> np.ndarray:
         """Per-claim aggregated evidence ``z_c · w`` (the direct relation).

@@ -100,12 +100,17 @@ class FactDatabase:
         self._prior = float(prior)
         self._probabilities = np.full(len(self._claims), self._prior, dtype=float)
         self._labels: Dict[int, int] = {}
+        self._label_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
 
     def _build_cliques(self) -> None:
+        claim_arr: List[int] = []
+        document_arr: List[int] = []
+        source_arr: List[int] = []
+        sign_arr: List[int] = []
         for doc_idx, document in enumerate(self._documents):
             source_idx = self._source_index.get(document.source_id)
             if source_idx is None:
@@ -131,6 +136,14 @@ class FactDatabase:
                 self._claim_cliques[claim_idx].append(clique_idx)
                 self._source_cliques[source_idx].append(clique_idx)
                 self._document_cliques[doc_idx].append(clique_idx)
+                claim_arr.append(claim_idx)
+                document_arr.append(doc_idx)
+                source_arr.append(source_idx)
+                sign_arr.append(link.stance.sign)
+        self._clique_claim_arr = np.asarray(claim_arr, dtype=np.intp)
+        self._clique_document_arr = np.asarray(document_arr, dtype=np.intp)
+        self._clique_source_arr = np.asarray(source_arr, dtype=np.intp)
+        self._clique_sign_arr = np.asarray(sign_arr, dtype=float)
 
     def _build_bipartite_adjacency(self) -> None:
         claim_sources: List[set] = [set() for _ in self._claims]
@@ -190,6 +203,20 @@ class FactDatabase:
     def cliques(self) -> Tuple[Clique, ...]:
         """All relation factors π = {c, d, s} (§3.1)."""
         return tuple(self._cliques)
+
+    def clique_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Dense clique structure as parallel arrays.
+
+        Returns ``(claim, document, source, stance_sign)`` arrays of length
+        ``num_cliques`` — the columnar layout the vectorised inference
+        engine builds its cached evidence matrices from.
+        """
+        return (
+            self._clique_claim_arr,
+            self._clique_document_arr,
+            self._clique_source_arr,
+            self._clique_sign_arr,
+        )
 
     @property
     def prior(self) -> float:
@@ -327,6 +354,7 @@ class FactDatabase:
             raise DataModelError(f"claim index {claim_index} out of range")
         self._labels[claim_index] = int(value)
         self._probabilities[claim_index] = float(value)
+        self._label_arrays = None
 
     def unlabel(self, claim_index: int) -> None:
         """Remove the user label for a claim, returning it to C^U.
@@ -338,6 +366,7 @@ class FactDatabase:
         if claim_index in self._labels:
             del self._labels[claim_index]
             self._probabilities[claim_index] = self._prior
+            self._label_arrays = None
 
     def label_of(self, claim_index: int) -> Optional[int]:
         """User label for the claim, or ``None`` when unlabelled."""
@@ -348,10 +377,27 @@ class FactDatabase:
         """All user labels, keyed by claim index."""
         return dict(self._labels)
 
+    def label_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """C^L as parallel ``(indices, values)`` arrays, sorted by index.
+
+        Cached until the label set changes; the inference hot paths use
+        this to pin labels with one vectorised assignment instead of
+        iterating the label mapping claim by claim.
+        """
+        if self._label_arrays is None:
+            indices = np.asarray(sorted(self._labels), dtype=np.intp)
+            values = np.asarray(
+                [self._labels[int(i)] for i in indices], dtype=float
+            )
+            indices.flags.writeable = False
+            values.flags.writeable = False
+            self._label_arrays = (indices, values)
+        return self._label_arrays
+
     @property
     def labelled_indices(self) -> np.ndarray:
         """C^L as a sorted array of claim indices."""
-        return np.asarray(sorted(self._labels), dtype=np.intp)
+        return self.label_arrays()[0]
 
     @property
     def unlabelled_indices(self) -> np.ndarray:
@@ -386,6 +432,7 @@ class FactDatabase:
             raise DataModelError("state snapshot does not match this database")
         self._probabilities = state.probabilities.copy()
         self._labels = dict(state.labels)
+        self._label_arrays = None
 
     # ------------------------------------------------------------------
     # Ground truth (simulation only)

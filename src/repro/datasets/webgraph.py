@@ -100,13 +100,10 @@ def website_features(
 
     graph = build_hyperlink_graph(reliability, seed=rng)
     pagerank = _node_scores(nx.pagerank(graph, alpha=0.85), count)
-    try:
-        hubs, authorities = nx.hits(graph, max_iter=500, normalized=True)
-    except nx.PowerIterationFailedConvergence:  # pragma: no cover - rare
-        hubs = {node: 1.0 / count for node in graph}
-        authorities = dict(hubs)
-    hub_scores = _node_scores(hubs, count)
-    authority_scores = _node_scores(authorities, count)
+    # networkx's ``hits`` seeds its eigensolver with a random start vector,
+    # which makes same-seed corpora differ at the last ulp; a deterministic
+    # power iteration computes the same fixed point reproducibly.
+    hub_scores, authority_scores = _power_hits(graph, count)
     in_degree = np.array([graph.in_degree(node) for node in range(count)], dtype=float)
 
     domain_age = np.clip(
@@ -122,6 +119,39 @@ def website_features(
         ]
     )
     return features
+
+
+def _power_hits(
+    graph: "nx.DiGraph",
+    count: int,
+    max_iter: int = 500,
+    tolerance: float = 1e-12,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Deterministic HITS hub/authority scores by power iteration.
+
+    Starts from the uniform vector and iterates the standard mutual
+    update (``a ← Aᵀ h``, ``h ← A a``) with L1 normalisation, the same
+    fixed point networkx converges to but without its randomised start.
+    Returns ``(hubs, authorities)``, each summing to one.
+    """
+    if count == 0 or graph.number_of_edges() == 0:
+        uniform = (
+            np.full(count, 1.0 / count) if count else np.zeros(0)
+        )
+        return uniform.copy(), uniform.copy()
+    edges = np.asarray(list(graph.edges), dtype=np.intp)
+    tails, heads = edges[:, 0], edges[:, 1]
+    hubs = np.full(count, 1.0 / count)
+    for _ in range(max_iter):
+        authorities = np.bincount(heads, weights=hubs[tails], minlength=count)
+        authorities /= authorities.sum()
+        new_hubs = np.bincount(tails, weights=authorities[heads], minlength=count)
+        new_hubs /= new_hubs.sum()
+        if np.abs(new_hubs - hubs).sum() < tolerance:
+            hubs = new_hubs
+            break
+        hubs = new_hubs
+    return hubs, authorities
 
 
 def _node_scores(scores: dict, count: int) -> np.ndarray:

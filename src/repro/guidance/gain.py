@@ -27,6 +27,7 @@ configuration of Fig. 2).
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
@@ -66,7 +67,11 @@ class GainConfig:
         damping: Mean-field damping factor in [0, 1); higher is smoother.
         gibbs_burn_in / gibbs_samples: Schedule of the throwaway chain in
             Gibbs mode.
-        parallel: Evaluate candidate gains on a thread pool.
+        parallel: Evaluate candidate gains on a thread pool.  Effective
+            in mean-field mode (mutation-free, so candidates genuinely
+            run concurrently); in Gibbs mode the hypothetical chains
+            must pin labels in the shared database and are serialised by
+            a lock, so ``parallel`` buys nothing there.
         max_workers: Thread-pool size when ``parallel`` is set.
     """
 
@@ -104,6 +109,10 @@ class GainEstimator:
         model: The CRF model (weights are read, never modified).
         components: Component index for localisation.
         config: Evaluation configuration.
+        engine: Hot-path engine for Gibbs-mode hypothetical inference;
+            pass the owning inference engine so gain evaluation runs the
+            same backend as the E-step (defaults to the model's default
+            backend).
         seed: Seed or generator (only Gibbs mode consumes randomness).
     """
 
@@ -112,6 +121,7 @@ class GainEstimator:
         model: CrfModel,
         components: Optional[ComponentIndex] = None,
         config: Optional[GainConfig] = None,
+        engine=None,
         seed: RandomState = None,
     ) -> None:
         self._model = model
@@ -120,7 +130,12 @@ class GainEstimator:
         self._components = (
             components if components is not None else ComponentIndex(self._database)
         )
+        self._engine = engine
         self._rng = ensure_rng(seed)
+        # Gibbs-mode hypothetical inference must pin its label in the
+        # shared database; the lock keeps parallel gain evaluation from
+        # observing another candidate's hypothetical state.
+        self._state_lock = threading.Lock()
 
     @property
     def config(self) -> GainConfig:
@@ -230,7 +245,10 @@ class GainEstimator:
         if self._config.inference_mode == "meanfield":
             marginals = self._mean_field(scope)
         else:
-            marginals = self._gibbs(scope)
+            # The throwaway chain reads the shared database state and the
+            # shared generator; serialise it like the hypothetical path.
+            with self._state_lock:
+                marginals = self._gibbs(scope)
         if cache is not None:
             cache[key] = marginals
         return marginals
@@ -243,25 +261,54 @@ class GainEstimator:
         base: np.ndarray,
     ) -> np.ndarray:
         """Marginals of ``Q+`` / ``Q-`` under light inference."""
-        snapshot = self._database.clone_state()
-        try:
-            self._database.label(claim_index, value)
-            if self._config.inference_mode == "meanfield":
-                marginals = self._mean_field(scope)
-            else:
+        if self._config.inference_mode == "meanfield":
+            # The hypothetical label is pinned inside the fixed point, so
+            # the shared database is never mutated — safe to parallelise.
+            return self._mean_field(scope, pin=(claim_index, value))
+        with self._state_lock:
+            snapshot = self._database.clone_state()
+            try:
+                self._database.label(claim_index, value)
                 marginals = self._gibbs(scope)
-        finally:
-            self._database.restore_state(snapshot)
+            finally:
+                self._database.restore_state(snapshot)
         return marginals
 
-    def _mean_field(self, scope: np.ndarray) -> np.ndarray:
-        """Damped mean-field fixed point restricted to ``scope``."""
+    def _mean_field(
+        self,
+        scope: np.ndarray,
+        pin: Optional[tuple] = None,
+    ) -> np.ndarray:
+        """Damped mean-field fixed point restricted to ``scope``.
+
+        Args:
+            scope: Claims whose marginals may move.
+            pin: Optional ``(claim_index, value)`` hypothetical label,
+                held fixed during the iteration exactly as a real label
+                would be.
+        """
         database = self._database
-        marginals = np.asarray(database.probabilities, dtype=float).copy()
-        labelled = database.labels
-        free = np.asarray(
-            [int(c) for c in scope if int(c) not in labelled], dtype=np.intp
-        )
+        # Snapshot state under the lock: the exact-entropy path swaps the
+        # database probabilities temporarily on other threads.
+        with self._state_lock:
+            marginals = np.asarray(database.probabilities, dtype=float).copy()
+            labelled = database.labels
+        if pin is not None:
+            pinned_claim, pinned_value = pin
+            marginals[pinned_claim] = float(pinned_value)
+            free = np.asarray(
+                [
+                    int(c)
+                    for c in scope
+                    if int(c) not in labelled and int(c) != int(pinned_claim)
+                ],
+                dtype=np.intp,
+            )
+        else:
+            free = np.asarray(
+                [int(c) for c in scope if int(c) not in labelled],
+                dtype=np.intp,
+            )
         if free.size == 0:
             return marginals
         damping = self._config.damping
@@ -278,6 +325,7 @@ class GainEstimator:
             burn_in=self._config.gibbs_burn_in,
             num_samples=self._config.gibbs_samples,
             seed=derive_rng(self._rng, 0),
+            engine=self._engine,
         )
         result = sampler.sample(claim_subset=scope)
         return result.marginals
@@ -295,17 +343,21 @@ class GainEstimator:
     def _claim_entropy(self, marginals: np.ndarray, scope: np.ndarray) -> float:
         """H_C over the scope (entropy outside cancels in differences)."""
         if self._config.entropy_method == "exact":
-            labelled = self._database.labels
+            with self._state_lock:
+                labelled = self._database.labels
             free = np.asarray(
                 [int(c) for c in scope if int(c) not in labelled], dtype=np.intp
             )
             if 0 < free.size <= min(self._EXACT_ENTROPY_CAP, MAX_EXACT_COMPONENT):
-                snapshot = self._database.clone_state()
-                try:
-                    self._database.set_probabilities(marginals)
-                    return component_entropy(self._model, free)
-                finally:
-                    self._database.restore_state(snapshot)
+                # component_entropy reads state through the database, so
+                # the temporary probability swap must be serialised.
+                with self._state_lock:
+                    snapshot = self._database.clone_state()
+                    try:
+                        self._database.set_probabilities(marginals)
+                        return component_entropy(self._model, free)
+                    finally:
+                        self._database.restore_state(snapshot)
         return float(binary_entropy(marginals[scope]).sum())
 
     def _source_entropy(self, marginals: np.ndarray, scope: np.ndarray) -> float:
@@ -316,7 +368,11 @@ class GainEstimator:
         """
         database = self._database
         grounding_values = (marginals >= 0.5).astype(np.int8)
-        for claim_idx, label in database.labels.items():
+        # Locked snapshot: gibbs-mode hypotheticals on other threads pin
+        # transient labels in the shared database.
+        with self._state_lock:
+            labels = database.labels
+        for claim_idx, label in labels.items():
             grounding_values[claim_idx] = label
         sources: set = set()
         for claim in scope:

@@ -1,6 +1,14 @@
 """Credibility inference (§3): iCRF EM, TRON optimiser, grounding decisions."""
 
 from repro.inference.decide import decide_grounding, threshold_grounding
+from repro.inference.engine import (
+    ENGINE_BACKENDS,
+    EngineConfig,
+    InferenceEngine,
+    NumpyEngine,
+    ReferenceEngine,
+    create_engine,
+)
 from repro.inference.icrf import ICrf
 from repro.inference.mstep import MStepConfig, build_design_matrix, run_m_step
 from repro.inference.result import InferenceResult
@@ -11,12 +19,18 @@ from repro.inference.tron import (
 )
 
 __all__ = [
+    "ENGINE_BACKENDS",
+    "EngineConfig",
     "ICrf",
+    "InferenceEngine",
     "InferenceResult",
     "MStepConfig",
+    "NumpyEngine",
+    "ReferenceEngine",
     "TronResult",
     "WeightedLogisticLoss",
     "build_design_matrix",
+    "create_engine",
     "decide_grounding",
     "run_m_step",
     "threshold_grounding",

@@ -35,8 +35,9 @@ def decide_grounding(database: FactDatabase, result: GibbsResult) -> Grounding:
             "mode configuration does not cover the database's claims"
         )
     values = mode.astype(np.int8).copy()
-    for claim_index, label in database.labels.items():
-        values[claim_index] = label
+    label_indices, label_values = database.label_arrays()
+    if label_indices.size:
+        values[label_indices] = label_values.astype(np.int8)
     return Grounding(values)
 
 
@@ -47,6 +48,7 @@ def threshold_grounding(database: FactDatabase, threshold: float = 0.5) -> Groun
     run a full Gibbs pass.
     """
     values = (np.asarray(database.probabilities) >= threshold).astype(np.int8)
-    for claim_index, label in database.labels.items():
-        values[claim_index] = label
+    label_indices, label_values = database.label_arrays()
+    if label_indices.size:
+        values[label_indices] = label_values.astype(np.int8)
     return Grounding(values)

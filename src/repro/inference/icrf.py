@@ -25,7 +25,7 @@ paper's Fig. 6.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -35,6 +35,7 @@ from repro.crf.weights import CrfWeights
 from repro.data.database import FactDatabase
 from repro.errors import InferenceError
 from repro.inference.decide import decide_grounding
+from repro.inference.engine import EngineConfig, InferenceEngine, create_engine
 from repro.inference.mstep import MStepConfig, run_m_step
 from repro.inference.result import InferenceResult
 from repro.utils.rng import RandomState, derive_rng, ensure_rng
@@ -61,6 +62,11 @@ class ICrf:
             exact reproducibility and speed; experiments that compare
             validation *orders* across runs (Table 2) use it to remove
             sampling noise from the comparison.
+        engine: Hot-path backend selection — an
+            :class:`~repro.inference.engine.EngineConfig`, a backend name,
+            or ``None`` for the default (``"numpy"``).  The engine's
+            cached evidence matrices are shared between the E-step sweeps
+            and the M-step design assembly.
         seed: Seed or generator.
     """
 
@@ -79,6 +85,7 @@ class ICrf:
         initial_bias: float = 1.0,
         mstep: Optional[MStepConfig] = None,
         estep_mode: str = "gibbs",
+        engine: Union[None, str, EngineConfig] = None,
         seed: RandomState = None,
     ) -> None:
         if em_iterations <= 0:
@@ -104,11 +111,13 @@ class ICrf:
             aggregation=aggregation,
             coupling_enabled=coupling_enabled,
         )
+        self._engine = create_engine(self._model, engine)
         self._sampler = GibbsSampler(
             self._model,
             burn_in=burn_in,
             num_samples=num_samples,
             seed=derive_rng(rng, 0),
+            engine=self._engine,
         )
         self._em_iterations = em_iterations
         self._em_tolerance = em_tolerance
@@ -131,6 +140,11 @@ class ICrf:
     def sampler(self) -> GibbsSampler:
         """The persistent Gibbs sampler."""
         return self._sampler
+
+    @property
+    def engine(self) -> InferenceEngine:
+        """The hot-path engine shared by E-step and M-step."""
+        return self._engine
 
     @property
     def weights(self) -> CrfWeights:
@@ -189,7 +203,10 @@ class ICrf:
             marginals = gibbs_result.marginals
             self._database.set_probabilities(marginals)
             if update_weights:
-                run_m_step(self._model, marginals, self._mstep_config)
+                run_m_step(
+                    self._model, marginals, self._mstep_config,
+                    engine=self._engine,
+                )
             delta = float(np.mean(np.abs(marginals - previous)))
             deltas.append(delta)
             previous = marginals.copy()
@@ -228,12 +245,13 @@ class ICrf:
 
         database = self._database
         marginals = np.asarray(database.probabilities, dtype=float).copy()
-        for claim_index, label in database.labels.items():
-            marginals[claim_index] = float(label)
-        labelled = database.labels
+        label_indices, label_values = database.label_arrays()
+        if label_indices.size:
+            marginals[label_indices] = label_values
         if claim_subset is None:
             free = database.unlabelled_indices
         else:
+            labelled = database.labels
             free = np.asarray(
                 [int(c) for c in claim_subset if int(c) not in labelled],
                 dtype=np.intp,
@@ -246,8 +264,8 @@ class ICrf:
                     damping * marginals[free] + (1.0 - damping) * updated
                 )
         configuration = (marginals >= 0.5).astype(np.int8)
-        for claim_index, label in database.labels.items():
-            configuration[claim_index] = label
+        if label_indices.size:
+            configuration[label_indices] = label_values.astype(np.int8)
         return GibbsResult(
             marginals=marginals,
             mode_configuration=configuration,

@@ -21,6 +21,7 @@ couple of Newton steps.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -28,6 +29,9 @@ from repro.crf.model import CrfModel
 from repro.crf.weights import CrfWeights
 from repro.errors import InferenceError
 from repro.inference.tron import TronResult, WeightedLogisticLoss, tron_minimize
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.inference.engine import InferenceEngine
 
 
 @dataclass
@@ -75,6 +79,7 @@ def run_m_step(
     model: CrfModel,
     marginals: np.ndarray,
     config: MStepConfig = MStepConfig(),
+    engine: Optional["InferenceEngine"] = None,
 ) -> TronResult:
     """Fit new weights from the current credibility estimates.
 
@@ -84,6 +89,9 @@ def run_m_step(
         marginals: Per-claim credibility estimates from the E-step; entries
             of labelled claims must already equal their labels.
         config: Hyper-parameters.
+        engine: Hot-path engine assembling the expected-statistics design;
+            defaults to the configured default backend for ``model``,
+            whose cached feature matrix is reused across EM rounds.
 
     Returns:
         The :class:`~repro.inference.tron.TronResult` of the fit.
@@ -93,32 +101,11 @@ def run_m_step(
     if marginals.shape != (database.num_claims,):
         raise InferenceError("marginals must cover every claim")
 
-    design_all = build_design_matrix(model, marginals)
-    covered = model.featurizer.claim_degree >= config.min_coverage
+    from repro.inference.engine import create_engine
 
-    rows = []
-    targets = []
-    weights = []
-    labels = database.labels
-    for claim_index in range(database.num_claims):
-        if not covered[claim_index]:
-            continue
-        row = design_all[claim_index]
-        label = labels.get(claim_index)
-        if label is not None:
-            rows.append(row)
-            targets.append(float(label))
-            weights.append(config.labelled_weight)
-        else:
-            q = float(marginals[claim_index])
-            rows.append(row)
-            targets.append(1.0)
-            weights.append(q)
-            rows.append(row)
-            targets.append(0.0)
-            weights.append(1.0 - q)
-
-    if not rows:
+    engine = create_engine(model, engine)
+    assembled = engine.assemble_mstep(marginals, config)
+    if assembled is None:
         # Nothing to fit (e.g. no claim has any clique); keep weights.
         current = model.weights.values
         return TronResult(
@@ -129,10 +116,11 @@ def run_m_step(
             converged=True,
         )
 
+    design, targets, sample_weights = assembled
     loss = WeightedLogisticLoss(
-        design=np.asarray(rows),
-        targets=np.asarray(targets),
-        sample_weights=np.asarray(weights),
+        design=design,
+        targets=targets,
+        sample_weights=sample_weights,
         regularization=config.regularization,
     )
     result = tron_minimize(

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -35,6 +35,11 @@ from repro.crf.weights import CrfWeights
 from repro.data.database import FactDatabase
 from repro.data.entities import Claim, Document, Source
 from repro.errors import StreamingError
+from repro.inference.engine import (
+    EngineConfig,
+    InferenceEngine,
+    create_engine,
+)
 from repro.inference.mstep import MStepConfig, run_m_step
 from repro.streaming.schedule import RobbinsMonroSchedule
 from repro.streaming.stream import ClaimArrival
@@ -75,6 +80,10 @@ class StreamingFactChecker:
         meanfield_steps: E-step fixed-point iterations per arrival.
         initial_bias: Cold-start bias weight of a fresh model.
         prior: Credibility prior of newly arrived claims.
+        engine: Hot-path backend selection (see
+            :mod:`repro.inference.engine`); each arrival's grown model
+            gets an engine of this backend, and its cached matrices are
+            reused by the online E- and M-steps of that snapshot.
         seed: Seed or generator.
     """
 
@@ -87,6 +96,7 @@ class StreamingFactChecker:
         meanfield_steps: int = 3,
         initial_bias: float = 1.0,
         prior: float = 0.5,
+        engine: Union[None, str, EngineConfig] = None,
         seed: RandomState = None,
     ) -> None:
         self._schedule = schedule if schedule is not None else RobbinsMonroSchedule()
@@ -96,6 +106,12 @@ class StreamingFactChecker:
         self._meanfield_steps = meanfield_steps
         self._initial_bias = float(initial_bias)
         self._prior = float(prior)
+        self._engine_config = (
+            engine if isinstance(engine, EngineConfig)
+            else EngineConfig() if engine is None
+            else EngineConfig(backend=engine)
+        )
+        self._engine: Optional[InferenceEngine] = None
         self._rng = ensure_rng(seed)
 
         self._sources: List[Source] = []
@@ -166,7 +182,7 @@ class StreamingFactChecker:
         # M-step with stochastic approximation (Eq. 29-30).
         previous = self._model.weights.values.copy()
         run_m_step(self._model, np.asarray(self._database.probabilities),
-                   self._mstep)
+                   self._mstep, engine=self._engine)
         candidate = self._model.weights.values
         gamma = self._schedule.step_size(self._t)
         blended = previous + gamma * (candidate - previous)
@@ -271,6 +287,9 @@ class StreamingFactChecker:
             aggregation=self._aggregation,
             coupling_enabled=self._coupling_enabled,
         )
+        # The arrival changed the structure, so the cached evidence
+        # matrices are rebuilt for the grown model.
+        self._engine = create_engine(self._model, self._engine_config)
 
     def _mean_field(self) -> np.ndarray:
         """Damped mean-field E-step over all unlabelled claims."""

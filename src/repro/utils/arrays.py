@@ -1,0 +1,24 @@
+"""Small vectorised array helpers shared across layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``[s, s + c)`` ranges: vectorised gather-index builder.
+
+    Given per-segment start offsets and lengths, returns the
+    concatenation of ``np.arange(s, s + c)`` for every segment — the
+    CSR-slice gather used by the inference engine and the entropy
+    enumeration.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.intp)
+    offsets = np.cumsum(counts) - counts
+    return (
+        np.arange(total, dtype=np.intp)
+        - np.repeat(offsets, counts)
+        + np.repeat(starts, counts)
+    )

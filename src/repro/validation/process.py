@@ -82,6 +82,10 @@ class ValidationProcess:
             user keeps skipping before forcing the last one.
         deterministic_ties: Break selection-score ties by claim index
             rather than randomly (reproducible validation orders).
+        engine: Hot-path backend selection forwarded to the default
+            :class:`~repro.inference.icrf.ICrf` (see
+            :mod:`repro.inference.engine`); ignored when an ``icrf``
+            instance is supplied.
         seed: Seed or generator.
     """
 
@@ -101,6 +105,7 @@ class ValidationProcess:
         termination: Sequence = (),
         max_skip_attempts: int = 5,
         deterministic_ties: bool = False,
+        engine=None,
         seed: RandomState = None,
     ) -> None:
         if batch_size < 1:
@@ -113,12 +118,17 @@ class ValidationProcess:
         self.user = user
         self.goal = goal if goal is not None else NoGoal()
         self.budget = budget if budget is not None else database.num_claims
-        self.icrf = icrf if icrf is not None else ICrf(database, seed=derive_rng(rng, 0))
+        self.icrf = (
+            icrf
+            if icrf is not None
+            else ICrf(database, engine=engine, seed=derive_rng(rng, 0))
+        )
         self.components = ComponentIndex(database)
         self.gains = GainEstimator(
             self.icrf.model,
             components=self.components,
             config=gain_config,
+            engine=self.icrf.engine,
             seed=derive_rng(rng, 1),
         )
         self.candidate_limit = candidate_limit

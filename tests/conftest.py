@@ -1,86 +1,16 @@
-"""Shared fixtures: a handcrafted micro-corpus and generated replicas."""
+"""Registers the shared fixtures of :mod:`tests.fixtures` with pytest.
 
-from __future__ import annotations
+All fixture definitions live in ``tests/fixtures.py`` so that test
+modules, benchmarks, and ad-hoc scripts can import them without relying
+on conftest side effects; this file only re-exports them for fixture
+discovery.
+"""
 
-import numpy as np
-import pytest
-
-from repro.data.database import FactDatabase
-from repro.data.entities import Claim, ClaimLink, Document, Source
-from repro.data.stance import Stance
-from repro.datasets import load_dataset
-
-
-def build_micro_database(prior: float = 0.5) -> FactDatabase:
-    """A 3-claim corpus with one reliable and one unreliable source.
-
-    Structure:
-        * ``s1`` (reliable): supports true claims c1/c3, refutes false c2.
-        * ``s2`` (unreliable): supports false c2, refutes true c1.
-    Claims c1 and c3 are true; c2 is false.  Source features encode
-    reliability (first coordinate high for s1), document features encode
-    language quality.
-    """
-    sources = [
-        Source("s1", features=[1.0, 0.2]),
-        Source("s2", features=[-1.0, 0.1]),
-    ]
-    claims = [
-        Claim("c1", text="claim one", truth=True),
-        Claim("c2", text="claim two", truth=False),
-        Claim("c3", text="claim three", truth=True),
-    ]
-    documents = [
-        Document(
-            "d1",
-            source_id="s1",
-            features=[0.9, 0.8],
-            claim_links=(
-                ClaimLink("c1", Stance.SUPPORT),
-                ClaimLink("c2", Stance.REFUTE),
-            ),
-        ),
-        Document(
-            "d2",
-            source_id="s1",
-            features=[0.8, 0.7],
-            claim_links=(ClaimLink("c3", Stance.SUPPORT),),
-        ),
-        Document(
-            "d3",
-            source_id="s2",
-            features=[-0.5, -0.6],
-            claim_links=(ClaimLink("c2", Stance.SUPPORT),),
-        ),
-        Document(
-            "d4",
-            source_id="s2",
-            features=[-0.7, -0.4],
-            claim_links=(ClaimLink("c1", Stance.REFUTE),),
-        ),
-    ]
-    return FactDatabase(sources, documents, claims, prior=prior)
-
-
-@pytest.fixture
-def micro_db() -> FactDatabase:
-    """Fresh handcrafted 3-claim database."""
-    return build_micro_database()
-
-
-@pytest.fixture(scope="session")
-def wiki_db_session() -> FactDatabase:
-    """Session-cached generated wiki replica (do not mutate)."""
-    return load_dataset("wiki", seed=42, scale=0.15)
-
-
-@pytest.fixture
-def wiki_db() -> FactDatabase:
-    """Fresh generated wiki replica (safe to mutate)."""
-    return load_dataset("wiki", seed=42, scale=0.15)
-
-
-@pytest.fixture
-def rng() -> np.random.Generator:
-    """Deterministic random generator for tests."""
-    return np.random.default_rng(12345)
+from tests.fixtures import (  # noqa: F401
+    build_micro_database,
+    micro_db,
+    random_databases,
+    rng,
+    wiki_db,
+    wiki_db_session,
+)

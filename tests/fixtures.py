@@ -1,0 +1,133 @@
+"""Shared test fixtures and corpus builders, importable from any suite.
+
+This is the single home of fixtures previously duplicated between the
+repo-root, ``tests/`` and ``benchmarks/`` conftests: ``tests/conftest.py``
+re-exports the pytest fixtures, while test modules import the plain
+builders (:func:`build_micro_database`, :func:`random_databases`)
+directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.data.database import FactDatabase
+from repro.data.entities import Claim, ClaimLink, Document, Source
+from repro.data.stance import Stance
+from repro.datasets import load_dataset
+
+
+def build_micro_database(prior: float = 0.5) -> FactDatabase:
+    """A 3-claim corpus with one reliable and one unreliable source.
+
+    Structure:
+        * ``s1`` (reliable): supports true claims c1/c3, refutes false c2.
+        * ``s2`` (unreliable): supports false c2, refutes true c1.
+    Claims c1 and c3 are true; c2 is false.  Source features encode
+    reliability (first coordinate high for s1), document features encode
+    language quality.
+    """
+    sources = [
+        Source("s1", features=[1.0, 0.2]),
+        Source("s2", features=[-1.0, 0.1]),
+    ]
+    claims = [
+        Claim("c1", text="claim one", truth=True),
+        Claim("c2", text="claim two", truth=False),
+        Claim("c3", text="claim three", truth=True),
+    ]
+    documents = [
+        Document(
+            "d1",
+            source_id="s1",
+            features=[0.9, 0.8],
+            claim_links=(
+                ClaimLink("c1", Stance.SUPPORT),
+                ClaimLink("c2", Stance.REFUTE),
+            ),
+        ),
+        Document(
+            "d2",
+            source_id="s1",
+            features=[0.8, 0.7],
+            claim_links=(ClaimLink("c3", Stance.SUPPORT),),
+        ),
+        Document(
+            "d3",
+            source_id="s2",
+            features=[-0.5, -0.6],
+            claim_links=(ClaimLink("c2", Stance.SUPPORT),),
+        ),
+        Document(
+            "d4",
+            source_id="s2",
+            features=[-0.7, -0.4],
+            claim_links=(ClaimLink("c1", Stance.REFUTE),),
+        ),
+    ]
+    return FactDatabase(sources, documents, claims, prior=prior)
+
+
+@st.composite
+def random_databases(draw):
+    """Hypothesis strategy: a small random fact database with full truth."""
+    num_claims = draw(st.integers(2, 6))
+    num_sources = draw(st.integers(1, 4))
+    num_documents = draw(st.integers(1, 8))
+    rng_seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(rng_seed)
+
+    sources = [
+        Source(f"s{i}", features=rng.normal(size=2)) for i in range(num_sources)
+    ]
+    claims = [
+        Claim(f"c{i}", truth=bool(rng.integers(0, 2))) for i in range(num_claims)
+    ]
+    documents = []
+    for d in range(num_documents):
+        linked = rng.choice(
+            num_claims, size=rng.integers(1, min(3, num_claims) + 1),
+            replace=False,
+        )
+        links = tuple(
+            ClaimLink(
+                f"c{int(c)}",
+                Stance.SUPPORT if rng.random() < 0.7 else Stance.REFUTE,
+            )
+            for c in linked
+        )
+        documents.append(
+            Document(
+                f"d{d}",
+                source_id=f"s{int(rng.integers(0, num_sources))}",
+                features=rng.normal(size=2),
+                claim_links=links,
+            )
+        )
+    return FactDatabase(sources, documents, claims)
+
+
+@pytest.fixture
+def micro_db() -> FactDatabase:
+    """Fresh handcrafted 3-claim database."""
+    return build_micro_database()
+
+
+@pytest.fixture(scope="session")
+def wiki_db_session() -> FactDatabase:
+    """Session-cached generated wiki replica (do not mutate)."""
+    return load_dataset("wiki", seed=42, scale=0.15)
+
+
+@pytest.fixture
+def wiki_db() -> FactDatabase:
+    """Fresh generated wiki replica (safe to mutate)."""
+    return load_dataset("wiki", seed=42, scale=0.15)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)

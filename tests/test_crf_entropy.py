@@ -20,7 +20,7 @@ from repro.crf.weights import CrfWeights
 from repro.data.grounding import Grounding
 from repro.errors import InferenceError
 
-from tests.conftest import build_micro_database
+from tests.fixtures import build_micro_database
 
 
 class TestBinaryEntropy:

@@ -10,7 +10,7 @@ from repro.crf.model import CrfModel
 from repro.crf.weights import CrfWeights
 from repro.errors import InferenceError
 
-from tests.conftest import build_micro_database
+from tests.fixtures import build_micro_database
 
 
 def make_model(coupling=1.0, bias=1.0):

@@ -16,7 +16,7 @@ from repro.crf.potentials import (
 from repro.crf.weights import CrfWeights
 from repro.errors import InferenceError
 
-from tests.conftest import build_micro_database
+from tests.fixtures import build_micro_database
 
 
 def micro_model(coupling=1.0, aggregation="sqrt", coupling_enabled=True):

@@ -9,7 +9,7 @@ from repro.data.database import FactDatabase
 from repro.data.entities import Claim, ClaimLink, Document, Source
 from repro.errors import DataModelError
 
-from tests.conftest import build_micro_database
+from tests.fixtures import build_micro_database
 
 
 class TestConstruction:

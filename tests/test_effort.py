@@ -33,7 +33,7 @@ from repro.validation.oracle import SimulatedUser
 from repro.validation.process import ValidationProcess
 from repro.validation.session import IterationRecord, ValidationTrace
 
-from tests.conftest import build_micro_database
+from tests.fixtures import build_micro_database
 
 
 def make_record(**overrides) -> IterationRecord:

@@ -23,7 +23,7 @@ from repro.guidance.strategies import (
 )
 from repro.inference.icrf import ICrf
 
-from tests.conftest import build_micro_database
+from tests.fixtures import build_micro_database
 
 
 def make_estimator(mode="meanfield", localize=True, **kwargs):

@@ -11,7 +11,7 @@ from repro.inference.decide import decide_grounding, threshold_grounding
 from repro.inference.icrf import ICrf
 from repro.inference.mstep import MStepConfig, build_design_matrix, run_m_step
 
-from tests.conftest import build_micro_database
+from tests.fixtures import build_micro_database
 
 
 class TestMStep:

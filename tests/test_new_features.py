@@ -18,7 +18,7 @@ from repro.guidance.gain import GainEstimator
 from repro.guidance.strategies import InformationGainStrategy, UncertaintyStrategy
 from repro.inference.icrf import ICrf
 
-from tests.conftest import build_micro_database
+from tests.fixtures import build_micro_database
 
 TINY = ExperimentConfig(
     seed=5, runs=1, scale_factor=0.4, datasets=("wiki",),

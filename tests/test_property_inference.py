@@ -17,49 +17,8 @@ from hypothesis import strategies as st
 from repro.crf.gibbs import GibbsSampler
 from repro.crf.model import CrfModel
 from repro.crf.weights import CrfWeights
-from repro.data.database import FactDatabase
-from repro.data.entities import Claim, ClaimLink, Document, Source
-from repro.data.stance import Stance
 from repro.inference.icrf import ICrf
-
-
-@st.composite
-def random_databases(draw):
-    """A small random fact database with full ground truth."""
-    num_claims = draw(st.integers(2, 6))
-    num_sources = draw(st.integers(1, 4))
-    num_documents = draw(st.integers(1, 8))
-    rng_seed = draw(st.integers(0, 2**16))
-    rng = np.random.default_rng(rng_seed)
-
-    sources = [
-        Source(f"s{i}", features=rng.normal(size=2)) for i in range(num_sources)
-    ]
-    claims = [
-        Claim(f"c{i}", truth=bool(rng.integers(0, 2))) for i in range(num_claims)
-    ]
-    documents = []
-    for d in range(num_documents):
-        linked = rng.choice(
-            num_claims, size=rng.integers(1, min(3, num_claims) + 1),
-            replace=False,
-        )
-        links = tuple(
-            ClaimLink(
-                f"c{int(c)}",
-                Stance.SUPPORT if rng.random() < 0.7 else Stance.REFUTE,
-            )
-            for c in linked
-        )
-        documents.append(
-            Document(
-                f"d{d}",
-                source_id=f"s{int(rng.integers(0, num_sources))}",
-                features=rng.normal(size=2),
-                claim_links=links,
-            )
-        )
-    return FactDatabase(sources, documents, claims)
+from tests.fixtures import random_databases
 
 
 def random_weights(database, seed=0, scale=1.0):

@@ -12,7 +12,7 @@ from repro.guidance.gain import GainConfig, GainEstimator
 from repro.inference.icrf import ICrf
 from repro.validation.session import IterationRecord, ValidationTrace
 
-from tests.conftest import build_micro_database
+from tests.fixtures import build_micro_database
 
 
 def record(iteration, claims, values, precision, repairs=0, entropy=1.0):

@@ -11,7 +11,7 @@ from repro.streaming.process import StreamingFactChecker
 from repro.streaming.schedule import RobbinsMonroSchedule
 from repro.streaming.stream import ClaimArrival, stream_from_database
 
-from tests.conftest import build_micro_database
+from tests.fixtures import build_micro_database
 
 
 class TestSchedule:

@@ -19,7 +19,7 @@ from repro.validation.oracle import SimulatedUser
 from repro.validation.process import ValidationProcess
 from repro.validation.robustness import ConfirmationChecker
 
-from tests.conftest import build_micro_database
+from tests.fixtures import build_micro_database
 
 
 def make_process(db=None, strategy="uncertainty", seed=0, **kwargs):
