@@ -5,20 +5,25 @@ Demonstrates the §8.9 deployment scenario end to end:
 1. A simulated crowd answers redundant validation tasks; per-worker
    reliability is estimated with Dawid–Skene EM and compared to simple
    majority voting.
-2. The crowd *consensus* then acts as the (imperfect) user of the
-   validation process, with the confirmation check of §5.2 repairing the
-   mistakes the consensus makes — showing how the framework composes
-   with a crowdsourcing frontend instead of a single expert.
+2. The crowd *consensus* then acts as the (imperfect) user of a
+   fact-checking session — the session API accepts any custom
+   :class:`User` — with the confirmation check of §5.2 repairing the
+   mistakes the consensus makes, showing how the framework composes with
+   a crowdsourcing frontend instead of a single expert.
 
 Run with::
 
     python examples/crowdsourced_validation.py
+
+Set ``EXAMPLE_SMOKE=1`` for the reduced-scale variant CI executes.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
+from repro import FactCheckSession, SessionSpec, User, load_dataset
 from repro.crowd import (
     CROWD_PROFILES,
     DawidSkeneBinary,
@@ -27,10 +32,9 @@ from repro.crowd import (
     run_deployment,
 )
 from repro.data.entities import Claim
-from repro.datasets import load_dataset
-from repro.guidance import make_strategy
-from repro.validation import TruePrecisionGoal, User, ValidationProcess
-from repro.validation.robustness import ConfirmationChecker
+
+SMOKE = os.environ.get("EXAMPLE_SMOKE") == "1"
+SCALE = 0.006 if SMOKE else 0.01
 
 
 class CrowdConsensusUser(User):
@@ -58,10 +62,12 @@ class CrowdConsensusUser(User):
 
 
 def main() -> None:
-    database = load_dataset("snopes", seed=9, scale=0.01)
+    database = load_dataset("snopes", seed=9, scale=SCALE)
 
     print("=== 1. expert panel vs. crowd (Table 3 protocol) ===")
-    outcomes = run_deployment(database, "snopes", num_claims=30, seed=9)
+    outcomes = run_deployment(
+        database, "snopes", num_claims=15 if SMOKE else 30, seed=9
+    )
     for population, outcome in outcomes.items():
         print(
             f"  {population:>6}: accuracy={outcome.accuracy:.2f} "
@@ -90,23 +96,25 @@ def main() -> None:
         f"(estimated accuracy {ds.worker_accuracy[least_reliable]:.2f})"
     )
 
-    print("\n=== 3. crowd consensus driving the validation process ===")
-    crowd_user = CrowdConsensusUser(seed=9)
-    process = ValidationProcess(
-        load_dataset("snopes", seed=9, scale=0.01),
-        strategy=make_strategy("hybrid"),
-        user=crowd_user,
-        goal=TruePrecisionGoal(0.9),
-        robustness=ConfirmationChecker(interval=5),
-        candidate_limit=15,
+    print("\n=== 3. crowd consensus driving a fact-checking session ===")
+    spec = SessionSpec(
         seed=9,
+        dataset={"name": "snopes", "seed": 9, "scale": SCALE},
+        guidance={"strategy": "hybrid", "candidate_limit": 15},
+        effort={
+            "goal": {"kind": "true_precision", "threshold": 0.9},
+            "confirmation_interval": 5,   # §5.2 repairs crowd mistakes
+        },
     )
-    trace = process.run()
+    crowd_user = CrowdConsensusUser(seed=9)
+    with FactCheckSession(spec, user=crowd_user) as session:
+        result = session.run()
+        repairs = session.process.robustness_stats.repairs
     print(
-        f"  stop={trace.stop_reason} precision={process.current_precision():.2f} "
-        f"claims validated={process.database.num_labelled} "
+        f"  stop={result.stop_reason} precision={result.final_precision:.2f} "
+        f"claims validated={result.num_labelled} "
         f"crowd answers consumed={crowd_user.answers_collected} "
-        f"repairs={process.robustness_stats.repairs}"
+        f"repairs={repairs}"
     )
 
 

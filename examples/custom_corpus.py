@@ -3,8 +3,9 @@
 Shows the public data model end to end, without the synthetic generators:
 a small corpus of claims about a fictive product launch is assembled from
 raw sources / documents / claims, persisted to JSON, reloaded, and then
-validated interactively with batching enabled (§6.2) and early
-termination (§6.1).
+validated through a session configured with batching (§6.2) and early
+termination (§6.1) — the spec references the corpus *file*, so the entire
+run is declaratively reproducible from the JSON pair alone.
 
 Run with::
 
@@ -16,11 +17,17 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro.data import Claim, ClaimLink, Document, FactDatabase, Source, Stance
-from repro.datasets import load_database, save_database
-from repro.effort import UncertaintyReductionCriterion
-from repro.guidance import make_strategy
-from repro.validation import SimulatedUser, ValidationProcess
+from repro import (
+    Claim,
+    ClaimLink,
+    Document,
+    FactCheckSession,
+    FactDatabase,
+    SessionSpec,
+    Source,
+    Stance,
+    save_database,
+)
 
 
 def build_corpus() -> FactDatabase:
@@ -75,41 +82,47 @@ def main() -> None:
     database = build_corpus()
     print(f"hand-built corpus: {database!r}")
 
-    # Persist and reload — the JSON format is the integration point for
-    # downstream users with real corpora.
+    # Persist to JSON — the integration point for downstream users with
+    # real corpora — and reference the file from the session spec, so the
+    # spec alone reproduces the run.
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "corpus.json"
         save_database(database, path)
-        database = load_database(path)
-        print(f"round-tripped through {path.name}")
+        print(f"persisted to {path.name}; the spec loads it back")
 
-    process = ValidationProcess(
-        database,
-        strategy=make_strategy("info"),
-        user=SimulatedUser(seed=1),
-        batch_size=2,                      # §6.2: validate pairs of claims
-        termination=[UncertaintyReductionCriterion(threshold=0.01,
-                                                   patience=2)],
-        seed=1,
-    )
-    process.initialize()
-    print(f"\nautomated credibility estimates (no user input yet):")
-    for index, claim in enumerate(database.claims):
-        print(
-            f"  {claim.claim_id:>12}: P={database.probability(index):.2f} "
-            f"(truth: {'credible' if claim.truth else 'non-credible'})"
+        spec = SessionSpec(
+            seed=1,
+            dataset={"path": str(path)},
+            guidance={"strategy": "info"},
+            effort={
+                "batch_size": 2,               # §6.2: validate claim pairs
+                "termination": [
+                    {"kind": "urr",
+                     "params": {"threshold": 0.01, "patience": 2}},
+                ],
+            },
         )
+        with FactCheckSession(spec) as session:
+            database = session.database
+            print("\nautomated credibility estimates (no user input yet):")
+            for index, claim in enumerate(database.claims):
+                print(
+                    f"  {claim.claim_id:>12}: "
+                    f"P={database.probability(index):.2f} "
+                    f"(truth: "
+                    f"{'credible' if claim.truth else 'non-credible'})"
+                )
+            result = session.run()
+            grounding = session.process.grounding
 
-    trace = process.run()
-    print(f"\nvalidation stopped: {trace.stop_reason}")
-    grounding = process.grounding
+    print(f"\nvalidation stopped: {result.stop_reason}")
     print("trusted set of facts (the grounding):")
     for index, claim in enumerate(database.claims):
         verdict = "credible" if grounding[index] else "non-credible"
         marker = "*" if database.is_labelled(index) else " "
         print(f"  {marker} {claim.claim_id:>12}: {verdict}")
     print("(* = validated by the user)")
-    print(f"final precision: {process.current_precision():.2f}")
+    print(f"final precision: {result.final_precision:.2f}")
 
 
 if __name__ == "__main__":

@@ -3,39 +3,41 @@
 Reproduces the headline experiment of the paper (Fig. 6) on a small
 Wikipedia-hoaxes replica: every selection strategy runs until perfect
 precision and the precision-vs-effort curves are rendered as ASCII
-charts.  The guided strategies — hybrid in particular — should reach 90%
-precision with a fraction of the effort random selection needs.
+charts.  Each run is one declarative :class:`SessionSpec` differing only
+in the strategy field.  The guided strategies should reach 90% precision
+with a fraction of the effort random selection needs.
 
 Run with::
 
     python examples/guided_vs_random.py
+
+Set ``EXAMPLE_SMOKE=1`` for the reduced-scale variant CI executes.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
-from repro.datasets import load_dataset
-from repro.guidance import make_strategy
-from repro.validation import SimulatedUser, TruePrecisionGoal, ValidationProcess
+from repro import FactCheckSession, SessionSpec
 
 STRATEGIES = ("random", "uncertainty", "info", "source", "hybrid")
 TARGET = 0.9
 CHART_WIDTH = 50
+SMOKE = os.environ.get("EXAMPLE_SMOKE") == "1"
 
 
 def run_strategy(name: str, seed: int) -> tuple:
     """Run one strategy to full precision; return (efforts, precisions)."""
-    database = load_dataset("wiki", seed=11, scale=0.2)
-    process = ValidationProcess(
-        database,
-        strategy=make_strategy(name),
-        user=SimulatedUser(seed=seed),
-        goal=TruePrecisionGoal(1.0),
-        candidate_limit=20,
+    spec = SessionSpec(
         seed=seed,
+        dataset={"name": "wiki", "seed": 11, "scale": 0.1 if SMOKE else 0.2},
+        guidance={"strategy": name, "candidate_limit": 20},
+        effort={"goal": {"kind": "true_precision", "threshold": 1.0}},
     )
-    trace = process.run()
+    result = FactCheckSession(spec).run()
+    trace = result.trace
     efforts = np.concatenate(([0.0], trace.efforts()))
     precisions = np.concatenate(
         ([trace.initial_precision], trace.precisions())
@@ -62,7 +64,7 @@ def main() -> None:
     print(f"precision vs. effort (0% {'-' * (CHART_WIDTH - 10)} 100%)\n")
     summary = {}
     for name in STRATEGIES:
-        efforts, precisions = run_strategy(name, seed=3)
+        efforts, precisions = run_strategy(name, seed=5)
         reached = next(
             (e for e, p in zip(efforts, precisions) if p >= TARGET), 1.0
         )

@@ -1,63 +1,64 @@
 """Quickstart: guided fact checking on a Snopes-like corpus.
 
 Generates a scaled replica of the Snopes corpus, then runs the paper's
-full validation process (Alg. 1) with hybrid user guidance until the
-knowledge base reaches 90% precision — printing what the framework does
-at every iteration.
+full validation process (Alg. 1) through the declarative session API with
+hybrid user guidance until the knowledge base reaches 90% precision —
+printing what the framework does at every iteration.  The goal/budget/
+exhaustion loop lives inside :meth:`FactCheckSession.run`, so the trace
+always carries a correct stop reason.
 
 Run with::
 
     python examples/quickstart.py
+
+Set ``EXAMPLE_SMOKE=1`` for the reduced-scale variant CI executes.
 """
 
 from __future__ import annotations
 
-from repro.datasets import load_dataset
-from repro.guidance import make_strategy
-from repro.validation import SimulatedUser, TruePrecisionGoal, ValidationProcess
+import os
+
+from repro import FactCheckSession, SessionSpec
+
+SMOKE = os.environ.get("EXAMPLE_SMOKE") == "1"
 
 
 def main() -> None:
     # A Snopes-shaped corpus: ~49 claims, ~800 documents, ~230 sources.
-    database = load_dataset("snopes", seed=7, scale=0.01)
-    print(f"corpus: {database!r}")
-
-    process = ValidationProcess(
-        database,
-        strategy=make_strategy("hybrid"),
-        user=SimulatedUser(seed=7),      # oracle user simulated from truth
-        goal=TruePrecisionGoal(0.90),    # validation goal Δ
-        candidate_limit=20,
+    spec = SessionSpec(
         seed=7,
+        dataset={"name": "snopes", "seed": 7, "scale": 0.006 if SMOKE else 0.01},
+        guidance={"strategy": "hybrid", "candidate_limit": 20},
+        effort={"goal": {"kind": "true_precision", "threshold": 0.90}},
     )
 
-    trace = process.initialize()
-    print(
-        f"before any user input: precision={trace.initial_precision:.3f} "
-        f"entropy={trace.initial_entropy:.2f}"
-    )
-
-    while not process.goal.satisfied(process):
-        if process.database.unlabelled_indices.size == 0:
-            break
-        record = process.step()
-        claim = database.claims[record.claim_indices[0]]
-        verdict = "credible" if record.user_values[0] else "non-credible"
+    with FactCheckSession(spec) as session:
+        database = session.database
+        print(f"corpus: {database!r}")
+        trace = session.trace
         print(
-            f"iter {record.iteration:>2}: [{record.strategy_used:>6}] "
-            f"{claim.claim_id} -> {verdict:13} "
-            f"precision={record.precision:.3f} "
-            f"entropy={record.entropy:6.2f} "
-            f"z={record.hybrid_score:.3f} "
-            f"dt={record.response_seconds * 1000:.0f}ms"
+            f"before any user input: precision={trace.initial_precision:.3f} "
+            f"entropy={trace.initial_entropy:.2f}"
         )
 
-    trace.stop_reason = "goal"
-    effort = database.num_labelled / database.num_claims
+        def report(record) -> None:
+            verdict = "credible" if record.user_values[0] else "non-credible"
+            print(
+                f"iter {record.iteration:>2}: [{record.strategy_used:>6}] "
+                f"{record.claim_ids[0]} -> {verdict:13} "
+                f"precision={record.precision:.3f} "
+                f"entropy={record.entropy:6.2f} "
+                f"z={record.hybrid_score:.3f} "
+                f"dt={record.response_seconds * 1000:.0f}ms"
+            )
+
+        result = session.run(on_iteration=report)
+
+    effort = result.num_labelled / result.num_claims
     print(
-        f"\nreached {process.current_precision():.1%} precision with input "
-        f"on {database.num_labelled}/{database.num_claims} claims "
-        f"({effort:.0%} effort)"
+        f"\nstopped ({result.stop_reason}) at {result.final_precision:.1%} "
+        f"precision with input on {result.num_labelled}/{result.num_claims} "
+        f"claims ({effort:.0%} effort)"
     )
 
 

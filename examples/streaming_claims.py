@@ -1,99 +1,84 @@
 """Streaming fact checking: validating claims while they arrive.
 
-Replays a healthcare-forum replica as a claim stream (Alg. 2): the online
-model ingests arrivals with stochastic-approximation EM, and after every
-20% of the stream the validation process (Alg. 1) runs on the current
-snapshot — with model parameters exchanged between the two algorithms, as
-in §7 of the paper.  Finally the streaming validation order is compared
-to the offline order with Kendall's τ_b (Table 2).
+Replays a healthcare-forum replica as a claim stream (Alg. 2) through a
+streaming :class:`FactCheckSession`: the online model ingests arrivals with
+stochastic-approximation EM, and after every 20% of the stream the session
+runs an interleaved validation burst (Alg. 1) on the current snapshot —
+with model parameters exchanged between the two algorithms, as in §7 of
+the paper.  Finally the streaming validation order is compared to the
+offline order with Kendall's τ_b (Table 2).
 
 Run with::
 
     python examples/streaming_claims.py
+
+Set ``EXAMPLE_SMOKE=1`` for the reduced-scale variant CI executes.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
-from repro.datasets import load_dataset
-from repro.guidance import make_strategy
-from repro.inference import ICrf
+from repro import FactCheckSession, SessionSpec, load_dataset, stream_from_database
 from repro.metrics import sequence_rank_correlation
-from repro.streaming import StreamingFactChecker, stream_from_database
-from repro.validation import SimulatedUser, ValidationProcess
 
 VALIDATION_PERIOD = 0.2
+SMOKE = os.environ.get("EXAMPLE_SMOKE") == "1"
+SCALE = 0.025 if SMOKE else 0.04
 
 
-def offline_order(database, seed: int) -> list:
-    """Validation order of the classic offline process."""
-    process = ValidationProcess(
-        database,
-        strategy=make_strategy("hybrid"),
-        user=SimulatedUser(seed=seed),
-        candidate_limit=15,
+def offline_order(seed: int) -> list:
+    """Validation order of the classic offline (batch) session."""
+    spec = SessionSpec(
         seed=seed,
+        dataset={"name": "health", "seed": 5, "scale": SCALE},
+        guidance={"strategy": "hybrid", "candidate_limit": 15},
     )
-    trace = process.run()
-    return [database.claim_id(i) for i in trace.validated_claims()]
+    result = FactCheckSession(spec).run()
+    return result.validated_claim_ids
 
 
 def main() -> None:
-    database = load_dataset("health", seed=5, scale=0.04)
+    database = load_dataset("health", seed=5, scale=SCALE)
     print(f"corpus: {database!r}\n")
 
     print("offline pass (all claims known upfront) ...")
-    offline = offline_order(load_dataset("health", seed=5, scale=0.04), seed=1)
+    offline = offline_order(seed=1)
 
     print("streaming pass (claims arrive one by one) ...")
-    checker = StreamingFactChecker(seed=5)
     arrivals = list(stream_from_database(database))
     period = max(1, int(VALIDATION_PERIOD * len(arrivals)))
-    streaming_order: list = []
-    update_times = []
-    pending = 0
-    for arrival in arrivals:
-        update = checker.observe(arrival)
-        update_times.append(update.elapsed_seconds)
-        pending += 1
-        if pending < period:
-            continue
-        pending = 0
-        snapshot = checker.database
-        icrf = ICrf(snapshot, seed=2)
-        weights = checker.weights
-        if weights is not None:
-            icrf.set_weights(weights)          # Alg. 2, line 7
-        process = ValidationProcess(
-            snapshot,
-            strategy=make_strategy("hybrid"),
-            user=SimulatedUser(seed=3),
-            icrf=icrf,
-            candidate_limit=15,
-            seed=3,
-        )
-        process.initialize()
-        for _ in range(period):
-            if snapshot.unlabelled_indices.size == 0:
-                break
-            record = process.step()
-            for claim_index, value in zip(
-                record.claim_indices, record.user_values
-            ):
-                claim_id = snapshot.claim_id(claim_index)
-                checker.record_label(claim_id, value)
-                streaming_order.append(claim_id)
-        checker.receive_weights(icrf.weights)  # Alg. 2, line 10
-        print(
-            f"  after {update.arrival_index:>3} arrivals: validated "
-            f"{len(streaming_order):>3} claims, avg update "
-            f"{np.mean(update_times) * 1000:.0f}ms"
-        )
+    spec = SessionSpec(
+        mode="streaming",
+        seed=3,
+        guidance={"strategy": "hybrid", "candidate_limit": 15},
+        stream={"validation_every": period},
+    )
 
-    tau = sequence_rank_correlation(offline, streaming_order)
+    update_times = []
+
+    def report(update) -> None:
+        update_times.append(update.elapsed_seconds)
+        if update.arrival_index % period == 0:
+            print(
+                f"  after {update.arrival_index:>3} arrivals: "
+                f"{update.num_claims:>3} claims / "
+                f"{update.num_sources:>3} sources, avg update "
+                f"{np.mean(update_times) * 1000:.0f}ms"
+            )
+
+    with FactCheckSession(spec) as session:
+        result = session.run(arrivals=arrivals, on_iteration=report)
+
+    tau = sequence_rank_correlation(offline, result.validated_claim_ids)
     print(
-        f"\nvalidation-order similarity offline vs. streaming "
+        f"\nvalidated {len(result.validated_claim_ids)} claims while "
+        f"streaming ({result.stop_reason})"
+    )
+    print(
+        f"validation-order similarity offline vs. streaming "
         f"(period {VALIDATION_PERIOD:.0%}): Kendall tau_b = {tau:.3f}"
     )
     print("larger validation periods approach the offline order (Table 2)")

@@ -2,7 +2,14 @@
 
 A framework for guiding users in the validation of candidate facts
 extracted from Web sources (Nguyen Thanh Tam et al., PVLDB 2019).  The
-public API follows the paper's structure:
+recommended entry point is the declarative session API:
+
+* :mod:`repro.api` — :class:`SessionSpec` configs (JSON-serialisable) and
+  the :class:`FactCheckSession` façade unifying batch validation (Alg. 1)
+  and streaming claim arrival (Alg. 2) behind one lifecycle with
+  checkpoint/resume.
+
+The paper-structured subsystems remain importable for advanced use:
 
 * :mod:`repro.data` — the probabilistic fact database Q = <S, D, C, P>.
 * :mod:`repro.datasets` — synthetic replicas of the evaluation corpora.
@@ -17,51 +24,92 @@ public API follows the paper's structure:
 
 Quickstart::
 
-    from repro.datasets import load_dataset
-    from repro.guidance import make_strategy
-    from repro.validation import SimulatedUser, TruePrecisionGoal, ValidationProcess
+    from repro import FactCheckSession, SessionSpec
 
-    database = load_dataset("snopes", seed=7, scale=0.01)
-    process = ValidationProcess(
-        database,
-        strategy=make_strategy("hybrid"),
-        user=SimulatedUser(seed=7),
-        goal=TruePrecisionGoal(0.9),
+    spec = SessionSpec(
         seed=7,
+        dataset={"name": "snopes", "seed": 7, "scale": 0.01},
+        effort={"goal": {"kind": "true_precision", "threshold": 0.9}},
     )
-    trace = process.run()
-    print(trace.stop_reason, trace.total_effort(), process.current_precision())
+    with FactCheckSession(spec) as session:
+        result = session.run()
+    print(result.stop_reason, result.num_labelled, result.final_precision)
+
+The pre-1.1 constructor surface (``ValidationProcess``, ``ICrf``,
+``StreamingFactChecker`` with their keyword explosions) keeps working but
+emits :class:`repro.LegacyAPIWarning`; see ``docs/API.md`` for the
+migration table.
 """
 
+from repro._legacy import LegacyAPIWarning
+from repro.api import (
+    DatasetSpec,
+    EffortSpec,
+    FactCheckSession,
+    GoalSpec,
+    GuidanceSpec,
+    InferenceSpec,
+    SessionResult,
+    SessionSpec,
+    StreamSpec,
+    TerminationSpec,
+    UserSpec,
+)
 from repro.data import Claim, ClaimLink, Document, FactDatabase, Grounding, Source, Stance
-from repro.datasets import load_dataset
-from repro.errors import ReproError
+from repro.datasets import load_database, load_dataset, save_database
+from repro.errors import ReproError, SessionError, SpecError
 from repro.guidance import make_strategy
 from repro.inference import ICrf
+from repro.streaming import ClaimArrival, StreamingFactChecker, stream_from_database
 from repro.validation import (
     SimulatedUser,
     TruePrecisionGoal,
+    User,
     ValidationProcess,
     ValidationTrace,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # Declarative session API (preferred surface).
+    "DatasetSpec",
+    "EffortSpec",
+    "FactCheckSession",
+    "GoalSpec",
+    "GuidanceSpec",
+    "InferenceSpec",
+    "SessionResult",
+    "SessionSpec",
+    "StreamSpec",
+    "TerminationSpec",
+    "UserSpec",
+    # Data model and corpora.
     "Claim",
     "ClaimLink",
+    "ClaimArrival",
     "Document",
     "FactDatabase",
     "Grounding",
-    "ICrf",
-    "ReproError",
-    "SimulatedUser",
     "Source",
     "Stance",
+    "load_database",
+    "load_dataset",
+    "save_database",
+    "stream_from_database",
+    # Users and errors.
+    "LegacyAPIWarning",
+    "ReproError",
+    "SessionError",
+    "SimulatedUser",
+    "SpecError",
+    "User",
+    # Legacy (deprecated) constructor surface.
+    "ICrf",
+    "StreamingFactChecker",
     "TruePrecisionGoal",
     "ValidationProcess",
     "ValidationTrace",
-    "__version__",
-    "load_dataset",
     "make_strategy",
+    "__version__",
 ]

@@ -1,0 +1,65 @@
+"""Deprecation plumbing for the pre-``repro.api`` constructor surface.
+
+The kwarg-explosion constructors of :class:`~repro.validation.process.ValidationProcess`,
+:class:`~repro.inference.icrf.ICrf`, and
+:class:`~repro.streaming.process.StreamingFactChecker` remain functional but
+are superseded by the declarative spec/session layer in :mod:`repro.api`.
+Calling them directly emits a :class:`LegacyAPIWarning`; framework-internal
+construction (the session façade, the experiment drivers, nested defaults)
+wraps itself in :func:`suppress_legacy_warnings` so only *user* code is
+nudged towards the new API.
+
+This module must stay dependency-free within the package — it is imported
+by the lowest layers and by :mod:`repro.api` alike.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "LegacyAPIWarning",
+    "suppress_legacy_warnings",
+    "warn_legacy",
+]
+
+
+class LegacyAPIWarning(DeprecationWarning):
+    """Warning category for deprecated pre-``repro.api`` entry points."""
+
+
+_state = threading.local()
+
+
+def _depth() -> int:
+    return getattr(_state, "depth", 0)
+
+
+@contextmanager
+def suppress_legacy_warnings() -> Iterator[None]:
+    """Mark the enclosed constructions as framework-internal (no warning)."""
+    _state.depth = _depth() + 1
+    try:
+        yield
+    finally:
+        _state.depth = _depth() - 1
+
+
+def warn_legacy(old: str, new: str) -> None:
+    """Emit a :class:`LegacyAPIWarning` unless inside internal construction.
+
+    Args:
+        old: The legacy entry point being invoked (e.g. ``"ValidationProcess(...)"``).
+        new: The replacement to steer users to (e.g. ``"repro.api.FactCheckSession"``).
+    """
+    if _depth() > 0:
+        return
+    warnings.warn(
+        f"{old} is deprecated as a direct entry point; use {new} instead "
+        f"(see docs/API.md for the migration table)",
+        LegacyAPIWarning,
+        stacklevel=3,
+    )

@@ -1,0 +1,101 @@
+"""Checkpoint files: persisting a session so it can resume bit-for-bit.
+
+A checkpoint is a single JSON document containing the session's
+:class:`~repro.api.specs.SessionSpec`, the corpus structure (batch mode) or
+the streamed entities (streaming mode), and the full mutable run state —
+database labels and probabilities, model weights, Gibbs-chain spins, every
+RNG bit-stream position, the trace, and all auxiliary counters.  Restoring
+rebuilds the object graph from the spec and overlays the saved state, so a
+resumed session continues the *same* random stream and reproduces the
+uninterrupted run exactly (asserted by ``tests/test_api_checkpoint.py``).
+
+Python's ``json`` round-trips both ``float`` values (shortest-repr) and the
+arbitrary-precision integers of the PCG64 RNG state losslessly, which is
+what makes a textual checkpoint format viable for bit-for-bit resume.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.crf.weights import CrfWeights
+from repro.errors import CheckpointError
+from repro.streaming.process import StreamUpdate
+
+#: Identifying header of every checkpoint file.
+CHECKPOINT_FORMAT = "repro-session-checkpoint"
+
+#: Version written into every checkpoint; bumped on breaking changes.
+CHECKPOINT_VERSION = 1
+
+
+def stream_update_to_dict(update: StreamUpdate) -> dict:
+    """Render one :class:`StreamUpdate` as a JSON-compatible entry."""
+    return {
+        "arrival_index": update.arrival_index,
+        "elapsed_seconds": update.elapsed_seconds,
+        "step_size": update.step_size,
+        "weights": update.weights.values.tolist(),
+        "num_claims": update.num_claims,
+        "num_documents": update.num_documents,
+        "num_sources": update.num_sources,
+    }
+
+
+def stream_update_from_dict(entry: dict) -> StreamUpdate:
+    """Inverse of :func:`stream_update_to_dict`."""
+    return StreamUpdate(
+        arrival_index=int(entry["arrival_index"]),
+        elapsed_seconds=float(entry["elapsed_seconds"]),
+        step_size=float(entry["step_size"]),
+        weights=CrfWeights(np.asarray(entry["weights"], dtype=float)),
+        num_claims=int(entry["num_claims"]),
+        num_documents=int(entry["num_documents"]),
+        num_sources=int(entry["num_sources"]),
+    )
+
+
+def write_checkpoint(path: Union[str, Path], payload: dict) -> None:
+    """Write a checkpoint payload (already carrying format headers)."""
+    path = Path(path)
+    try:
+        document = json.dumps(payload)
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(f"checkpoint is not JSON-serialisable: {exc}") from exc
+    path.write_text(document, encoding="utf-8")
+
+
+def read_checkpoint(path: Union[str, Path]) -> dict:
+    """Read and validate a checkpoint written by :func:`write_checkpoint`."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise CheckpointError(f"no checkpoint at {path}") from None
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(f"{path} is not a repro session checkpoint")
+    version = payload.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {version!r}; "
+            f"expected {CHECKPOINT_VERSION}"
+        )
+    return payload
+
+
+def records_to_dicts(records: List) -> List[dict]:
+    """Serialise a list of :class:`IterationRecord` objects."""
+    return [record.to_dict() for record in records]
+
+
+def records_from_dicts(entries: List[dict]) -> List:
+    """Inverse of :func:`records_to_dicts`."""
+    from repro.validation.session import IterationRecord
+
+    return [IterationRecord.from_dict(entry) for entry in entries]

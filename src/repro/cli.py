@@ -4,9 +4,12 @@ Three commands cover the common workflows:
 
 * ``experiment`` — run one of the paper's experiment drivers and print
   its table (``python -m repro experiment fig6 --runs 2``).
-* ``validate`` — run the interactive validation process on a synthetic
-  corpus replica and print the per-iteration trace
+* ``validate`` — run a guided fact-checking session on a synthetic corpus
+  replica and print the per-iteration trace
   (``python -m repro validate --dataset snopes --strategy hybrid``).
+  Sessions are declarative: ``--save-spec`` writes the resolved
+  :class:`~repro.api.SessionSpec` as JSON, ``--spec`` runs one, and
+  ``--checkpoint`` / ``--resume`` persist and continue a session.
 * ``generate`` — generate a corpus replica and write it to JSON
   (``python -m repro generate --dataset wiki --out wiki.json``).
 """
@@ -15,12 +18,20 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
+from repro.api import (
+    DatasetSpec,
+    EffortSpec,
+    FactCheckSession,
+    GoalSpec,
+    GuidanceSpec,
+    SessionSpec,
+)
 from repro.datasets import PROFILES, load_dataset, save_database
 from repro.experiments import EXPERIMENTS, ExperimentConfig
-from repro.guidance import STRATEGIES, make_strategy
-from repro.validation import SimulatedUser, TruePrecisionGoal, ValidationProcess
+from repro.guidance import STRATEGIES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,7 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     validate = commands.add_parser(
-        "validate", help="run guided validation on a synthetic corpus"
+        "validate", help="run a guided fact-checking session on a synthetic corpus"
     )
     validate.add_argument("--dataset", choices=sorted(PROFILES), default="snopes")
     validate.add_argument(
@@ -71,6 +82,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument(
         "--quiet", action="store_true", help="print only the final summary"
+    )
+    validate.add_argument(
+        "--spec",
+        default=None,
+        metavar="PATH",
+        help="run a SessionSpec JSON file (overrides the corpus/strategy flags)",
+    )
+    validate.add_argument(
+        "--save-spec",
+        default=None,
+        metavar="PATH",
+        help="write the resolved SessionSpec as JSON and exit",
+    )
+    validate.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="resume a checkpointed session instead of starting fresh",
+    )
+    validate.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="write a session checkpoint when the run finishes",
     )
 
     generate = commands.add_parser(
@@ -96,36 +131,70 @@ def run_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def run_validate(args: argparse.Namespace) -> int:
-    database = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
-    process = ValidationProcess(
-        database,
-        strategy=make_strategy(args.strategy),
-        user=SimulatedUser(seed=args.seed),
-        goal=TruePrecisionGoal(args.goal),
-        budget=args.budget,
-        candidate_limit=20,
+def session_spec_from_args(args: argparse.Namespace) -> SessionSpec:
+    """Resolve the ``validate`` flags into a declarative session spec."""
+    return SessionSpec(
+        mode="batch",
         seed=args.seed,
+        dataset=DatasetSpec(name=args.dataset, seed=args.seed, scale=args.scale),
+        guidance=GuidanceSpec(strategy=args.strategy, candidate_limit=20),
+        effort=EffortSpec(
+            goal=GoalSpec(kind="true_precision", threshold=args.goal),
+            budget=args.budget,
+        ),
     )
-    trace = process.initialize()
-    if not args.quiet:
-        print(f"corpus: {database!r}")
-        print(
-            f"initial precision {trace.initial_precision:.3f}, "
-            f"entropy {trace.initial_entropy:.2f}"
-        )
-    trace = process.run()
-    if not args.quiet:
-        for record in trace.records:
-            claim_id = database.claim_id(record.claim_indices[0])
+
+
+def run_validate(args: argparse.Namespace) -> int:
+    if args.spec is not None:
+        spec = SessionSpec.from_json(Path(args.spec).read_text(encoding="utf-8"))
+    else:
+        spec = session_spec_from_args(args)
+    if spec.mode != "batch":
+        print("validate only drives batch sessions; use the API for streaming")
+        return 2
+    if args.save_spec is not None:
+        Path(args.save_spec).write_text(spec.to_json(), encoding="utf-8")
+        print(f"wrote session spec to {args.save_spec}")
+        return 0
+
+    if args.resume is not None:
+        session = FactCheckSession.load(args.resume)
+        if session.mode != "batch":
+            print("validate only drives batch sessions; use the API for streaming")
+            return 2
+        if not args.quiet:
             print(
-                f"iter {record.iteration:>3}: {claim_id} <- "
-                f"{record.user_values[0]} precision={record.precision:.3f} "
-                f"dt={record.response_seconds * 1000:.0f}ms"
+                f"resumed session from {args.resume} "
+                f"({session.trace.iterations} iterations recorded)"
             )
+    else:
+        session = FactCheckSession(spec).open()
+        if not args.quiet:
+            trace = session.trace
+            print(f"corpus: {session.database!r}")
+            print(
+                f"initial precision {trace.initial_precision:.3f}, "
+                f"entropy {trace.initial_entropy:.2f}"
+            )
+
+    def report(record) -> None:
+        if args.quiet:
+            return
+        print(
+            f"iter {record.iteration:>3}: {record.claim_ids[0]} <- "
+            f"{record.user_values[0]} precision={record.precision:.3f} "
+            f"dt={record.response_seconds * 1000:.0f}ms"
+        )
+
+    result = session.run(on_iteration=report)
+    if args.checkpoint is not None:
+        session.save(args.checkpoint)
+        if not args.quiet:
+            print(f"checkpoint written to {args.checkpoint}")
     from repro.validation import format_summary, summarize_trace
 
-    print(format_summary(summarize_trace(trace)))
+    print(format_summary(summarize_trace(result.trace)))
     return 0
 
 

@@ -114,6 +114,25 @@ class GibbsSampler:
         """Discard the chain state; the next call starts a fresh chain."""
         self._spins = None
 
+    def state_dict(self) -> dict:
+        """Serialise chain state and RNG position for session checkpoints."""
+        from repro.utils.rng import rng_state
+
+        return {
+            "spins": None if self._spins is None else self._spins.tolist(),
+            "rng": rng_state(self._rng),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot bit-for-bit."""
+        from repro.utils.rng import set_rng_state
+
+        spins = state["spins"]
+        self._spins = (
+            None if spins is None else np.asarray(spins, dtype=float)
+        )
+        set_rng_state(self._rng, state["rng"])
+
     def _initial_spins(self) -> np.ndarray:
         """Draw an initial configuration from the current marginals."""
         probabilities = self._model.database.probabilities

@@ -21,45 +21,85 @@ from repro.errors import DatasetError
 FORMAT_VERSION = 1
 
 
+def source_to_dict(source: Source) -> dict:
+    """Render one source as a JSON-compatible entry."""
+    return {
+        "id": source.source_id,
+        "features": source.features.tolist(),
+        "metadata": dict(source.metadata),
+    }
+
+
+def document_to_dict(document: Document) -> dict:
+    """Render one document (with its claim links) as a JSON entry."""
+    return {
+        "id": document.document_id,
+        "source": document.source_id,
+        "features": document.features.tolist(),
+        "claims": [
+            {"id": link.claim_id, "stance": link.stance.name}
+            for link in document.claim_links
+        ],
+        "metadata": dict(document.metadata),
+    }
+
+
+def claim_to_dict(claim: Claim) -> dict:
+    """Render one claim as a JSON entry."""
+    return {
+        "id": claim.claim_id,
+        "text": claim.text,
+        "truth": claim.truth,
+        "metadata": dict(claim.metadata),
+    }
+
+
+def source_from_dict(entry: dict) -> Source:
+    """Inverse of :func:`source_to_dict`."""
+    return Source(
+        source_id=entry["id"],
+        features=entry["features"],
+        metadata=entry.get("metadata", {}),
+    )
+
+
+def document_from_dict(entry: dict) -> Document:
+    """Inverse of :func:`document_to_dict`."""
+    return Document(
+        document_id=entry["id"],
+        source_id=entry["source"],
+        features=entry["features"],
+        claim_links=tuple(
+            ClaimLink(claim_id=link["id"], stance=Stance[link["stance"]])
+            for link in entry["claims"]
+        ),
+        metadata=entry.get("metadata", {}),
+    )
+
+
+def claim_from_dict(entry: dict) -> Claim:
+    """Inverse of :func:`claim_to_dict`."""
+    return Claim(
+        claim_id=entry["id"],
+        text=entry.get("text", ""),
+        truth=entry.get("truth"),
+        metadata=entry.get("metadata", {}),
+    )
+
+
 def database_to_dict(database: FactDatabase) -> dict:
     """Render a fact database as a JSON-compatible dictionary.
 
     Only the immutable structure is serialised; probabilities and labels
-    are run-time state and are intentionally excluded.
+    are run-time state and are intentionally excluded (session checkpoints
+    carry them separately, see :mod:`repro.api.checkpoint`).
     """
     return {
         "version": FORMAT_VERSION,
         "prior": database.prior,
-        "sources": [
-            {
-                "id": source.source_id,
-                "features": source.features.tolist(),
-                "metadata": dict(source.metadata),
-            }
-            for source in database.sources
-        ],
-        "documents": [
-            {
-                "id": document.document_id,
-                "source": document.source_id,
-                "features": document.features.tolist(),
-                "claims": [
-                    {"id": link.claim_id, "stance": link.stance.name}
-                    for link in document.claim_links
-                ],
-                "metadata": dict(document.metadata),
-            }
-            for document in database.documents
-        ],
-        "claims": [
-            {
-                "id": claim.claim_id,
-                "text": claim.text,
-                "truth": claim.truth,
-                "metadata": dict(claim.metadata),
-            }
-            for claim in database.claims
-        ],
+        "sources": [source_to_dict(source) for source in database.sources],
+        "documents": [document_to_dict(document) for document in database.documents],
+        "claims": [claim_to_dict(claim) for claim in database.claims],
     }
 
 
@@ -72,36 +112,9 @@ def database_from_dict(payload: dict) -> FactDatabase:
             f"expected {FORMAT_VERSION}"
         )
     try:
-        sources = [
-            Source(
-                source_id=entry["id"],
-                features=entry["features"],
-                metadata=entry.get("metadata", {}),
-            )
-            for entry in payload["sources"]
-        ]
-        documents = [
-            Document(
-                document_id=entry["id"],
-                source_id=entry["source"],
-                features=entry["features"],
-                claim_links=tuple(
-                    ClaimLink(claim_id=link["id"], stance=Stance[link["stance"]])
-                    for link in entry["claims"]
-                ),
-                metadata=entry.get("metadata", {}),
-            )
-            for entry in payload["documents"]
-        ]
-        claims = [
-            Claim(
-                claim_id=entry["id"],
-                text=entry.get("text", ""),
-                truth=entry.get("truth"),
-                metadata=entry.get("metadata", {}),
-            )
-            for entry in payload["claims"]
-        ]
+        sources = [source_from_dict(entry) for entry in payload["sources"]]
+        documents = [document_from_dict(entry) for entry in payload["documents"]]
+        claims = [claim_from_dict(entry) for entry in payload["claims"]]
     except (KeyError, TypeError) as exc:
         raise DatasetError(f"malformed fact-database payload: {exc}") from exc
     return FactDatabase(

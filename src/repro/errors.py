@@ -54,3 +54,15 @@ class StreamingError(ReproError):
 
 class DatasetError(ReproError):
     """A dataset generator or loader was given invalid parameters."""
+
+
+class SpecError(ReproError):
+    """A declarative session configuration (``repro.api`` spec) is invalid."""
+
+
+class SessionError(ReproError):
+    """A :class:`~repro.api.FactCheckSession` was used outside its lifecycle."""
+
+
+class CheckpointError(SessionError):
+    """A session checkpoint could not be written or restored."""

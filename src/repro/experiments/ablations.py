@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro._legacy import suppress_legacy_warnings
 from repro.crf.partition import ComponentIndex
 from repro.effort.batching import (
     exhaustive_topk_selection,
@@ -59,21 +60,22 @@ def coupling_ablation(
         for seed in spawn_rngs(config.seed, config.runs):
             rng = ensure_rng(seed)
             database = build_database(dataset, config, rng)
-            icrf = ICrf(
-                database,
-                coupling_enabled=enabled,
-                em_iterations=config.em_iterations,
-                num_samples=config.gibbs_samples,
-                seed=derive_rng(rng, 0),
-            )
-            process = ValidationProcess(
-                database,
-                strategy=make_strategy("hybrid"),
-                user=SimulatedUser(seed=derive_rng(rng, 1)),
-                icrf=icrf,
-                candidate_limit=config.candidate_limit,
-                seed=derive_rng(rng, 2),
-            )
+            with suppress_legacy_warnings():
+                icrf = ICrf(
+                    database,
+                    coupling_enabled=enabled,
+                    em_iterations=config.em_iterations,
+                    num_samples=config.gibbs_samples,
+                    seed=derive_rng(rng, 0),
+                )
+                process = ValidationProcess(
+                    database,
+                    strategy=make_strategy("hybrid"),
+                    user=SimulatedUser(seed=derive_rng(rng, 1)),
+                    icrf=icrf,
+                    candidate_limit=config.candidate_limit,
+                    seed=derive_rng(rng, 2),
+                )
             process.initialize()
             initials.append(process.current_precision() or 0.0)
             budget = int(round(effort_fraction * database.num_claims))
@@ -122,21 +124,22 @@ def aggregation_ablation(
         for seed in spawn_rngs(config.seed, config.runs):
             rng = ensure_rng(seed)
             database = build_database(dataset, config, rng)
-            icrf = ICrf(
-                database,
-                aggregation=mode,
-                em_iterations=config.em_iterations,
-                num_samples=config.gibbs_samples,
-                seed=derive_rng(rng, 0),
-            )
-            process = ValidationProcess(
-                database,
-                strategy=make_strategy("info"),
-                user=SimulatedUser(seed=derive_rng(rng, 1)),
-                icrf=icrf,
-                candidate_limit=config.candidate_limit,
-                seed=derive_rng(rng, 2),
-            )
+            with suppress_legacy_warnings():
+                icrf = ICrf(
+                    database,
+                    aggregation=mode,
+                    em_iterations=config.em_iterations,
+                    num_samples=config.gibbs_samples,
+                    seed=derive_rng(rng, 0),
+                )
+                process = ValidationProcess(
+                    database,
+                    strategy=make_strategy("info"),
+                    user=SimulatedUser(seed=derive_rng(rng, 1)),
+                    icrf=icrf,
+                    candidate_limit=config.candidate_limit,
+                    seed=derive_rng(rng, 2),
+                )
             process.initialize()
             budget = int(round(effort_fraction * database.num_claims))
             for _ in range(budget):
@@ -171,12 +174,13 @@ def warm_start_ablation(
             rng = ensure_rng(seed)
             database = build_database(dataset, config, rng)
             truth = database.truth_vector()
-            icrf = ICrf(
-                database,
-                em_iterations=config.em_iterations,
-                num_samples=config.gibbs_samples,
-                seed=derive_rng(rng, 0),
-            )
+            with suppress_legacy_warnings():
+                icrf = ICrf(
+                    database,
+                    em_iterations=config.em_iterations,
+                    num_samples=config.gibbs_samples,
+                    seed=derive_rng(rng, 0),
+                )
             icrf.infer()
             order = derive_rng(rng, 1).permutation(database.num_claims)
             for claim in order[:iterations]:
@@ -215,12 +219,13 @@ def batch_selection_ablation(
     )
     rng = ensure_rng(config.seed)
     database = build_database(dataset, config, rng)
-    icrf = ICrf(
-        database,
-        em_iterations=config.em_iterations,
-        num_samples=config.gibbs_samples,
-        seed=derive_rng(rng, 0),
-    )
+    with suppress_legacy_warnings():
+        icrf = ICrf(
+            database,
+            em_iterations=config.em_iterations,
+            num_samples=config.gibbs_samples,
+            seed=derive_rng(rng, 0),
+        )
     # A single E-step without weight updates: claims stay genuinely
     # uncertain, so the information gains the selectors trade off are
     # non-degenerate (after full EM convergence most gains vanish and

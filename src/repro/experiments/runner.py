@@ -13,11 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Sequence
 
+from repro._legacy import suppress_legacy_warnings
 from repro.data.database import FactDatabase
 from repro.datasets import generate_dataset, get_profile
 from repro.guidance.gain import GainConfig
 from repro.guidance.strategies import make_strategy
-from repro.inference.icrf import ICrf
 from repro.inference.mstep import MStepConfig
 from repro.utils.rng import RandomState, ensure_rng
 from repro.validation.goals import TruePrecisionGoal, ValidationGoal
@@ -91,29 +91,40 @@ def build_process(
     robustness: Optional[ConfirmationChecker] = None,
     batch_size: int = 1,
 ) -> ValidationProcess:
-    """Assemble a validation process with the experiment defaults."""
+    """Assemble a validation process with the experiment defaults.
+
+    Construction goes through the declarative :class:`repro.api.InferenceSpec`
+    path so experiment inference settings stay serialisable alongside
+    session specs.
+    """
+    from repro.api.build import build_icrf
+    from repro.api.specs import InferenceSpec
+
     rng = ensure_rng(seed)
-    icrf = ICrf(
+    icrf = build_icrf(
         database,
-        em_iterations=config.em_iterations,
-        num_samples=config.gibbs_samples,
-        mstep=MStepConfig(max_iterations=15),
+        InferenceSpec(
+            em_iterations=config.em_iterations,
+            num_samples=config.gibbs_samples,
+            mstep=MStepConfig(max_iterations=15),
+        ),
         seed=rng,
     )
     if user is None:
         user = SimulatedUser(seed=rng)
-    return ValidationProcess(
-        database,
-        strategy=make_strategy(strategy_name),
-        user=user,
-        goal=goal,
-        icrf=icrf,
-        gain_config=gain_config,
-        candidate_limit=config.candidate_limit,
-        robustness=robustness,
-        batch_size=batch_size,
-        seed=rng,
-    )
+    with suppress_legacy_warnings():
+        return ValidationProcess(
+            database,
+            strategy=make_strategy(strategy_name),
+            user=user,
+            goal=goal,
+            icrf=icrf,
+            gain_config=gain_config,
+            candidate_limit=config.candidate_limit,
+            robustness=robustness,
+            batch_size=batch_size,
+            seed=rng,
+        )
 
 
 def run_to_precision(

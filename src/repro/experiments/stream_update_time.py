@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro._legacy import suppress_legacy_warnings
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.runner import ExperimentConfig, build_database
 from repro.streaming.process import StreamingFactChecker
@@ -33,7 +34,8 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     for dataset in config.datasets:
         rng = ensure_rng(config.seed)
         database = build_database(dataset, config, rng)
-        checker = StreamingFactChecker(seed=rng)
+        with suppress_legacy_warnings():
+            checker = StreamingFactChecker(seed=rng)
         times = []
         for arrival in stream_from_database(database):
             update = checker.observe(arrival)

@@ -89,24 +89,27 @@ def _make_process(snapshot, config: ExperimentConfig, seed, weights=None):
     from repro.guidance.strategies import make_strategy
     from repro.validation.process import ValidationProcess
 
+    from repro._legacy import suppress_legacy_warnings
+
     rng = ensure_rng(seed)
-    icrf = ICrf(
-        snapshot,
-        em_iterations=config.em_iterations,
-        estep_mode="meanfield",
-        seed=derive_rng(rng, 0),
-    )
-    if weights is not None:
-        icrf.set_weights(weights)
-    return ValidationProcess(
-        snapshot,
-        strategy=make_strategy("info"),
-        user=SimulatedUser(seed=derive_rng(rng, 2)),
-        icrf=icrf,
-        candidate_limit=config.candidate_limit,
-        deterministic_ties=True,
-        seed=derive_rng(rng, 1),
-    )
+    with suppress_legacy_warnings():
+        icrf = ICrf(
+            snapshot,
+            em_iterations=config.em_iterations,
+            estep_mode="meanfield",
+            seed=derive_rng(rng, 0),
+        )
+        if weights is not None:
+            icrf.set_weights(weights)
+        return ValidationProcess(
+            snapshot,
+            strategy=make_strategy("info"),
+            user=SimulatedUser(seed=derive_rng(rng, 2)),
+            icrf=icrf,
+            candidate_limit=config.candidate_limit,
+            deterministic_ties=True,
+            seed=derive_rng(rng, 1),
+        )
 
 
 def _streaming_sequence(
@@ -122,7 +125,10 @@ def _streaming_sequence(
     fewer selections constrained by partial claim availability — the
     mechanism behind the increasing trend of Table 2.
     """
-    checker = StreamingFactChecker(seed=validator_seed)
+    from repro._legacy import suppress_legacy_warnings
+
+    with suppress_legacy_warnings():
+        checker = StreamingFactChecker(seed=validator_seed)
     arrivals = list(stream_from_database(database))
     claim_arrivals = sum(1 for a in arrivals if a.claim is not None)
     period_length = max(1, int(round(period * claim_arrivals)))

@@ -29,6 +29,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro._legacy import warn_legacy
 from repro.crf.gibbs import GibbsResult, GibbsSampler
 from repro.crf.model import CrfModel
 from repro.crf.weights import CrfWeights
@@ -88,6 +89,11 @@ class ICrf:
         engine: Union[None, str, EngineConfig] = None,
         seed: RandomState = None,
     ) -> None:
+        warn_legacy(
+            "ICrf(...) with keyword arguments",
+            "ICrf.from_spec(database, InferenceSpec(...)) or "
+            "repro.api.FactCheckSession",
+        )
         if em_iterations <= 0:
             raise InferenceError("em_iterations must be positive")
         if em_tolerance < 0:
@@ -125,6 +131,31 @@ class ICrf:
         self._last_gibbs: Optional[GibbsResult] = None
 
     # ------------------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, database: FactDatabase, spec=None, seed: RandomState = None):
+        """Construct from a declarative :class:`repro.api.InferenceSpec`.
+
+        This is the non-deprecated constructor path; ``spec=None`` uses
+        the spec defaults.
+        """
+        from repro.api.build import build_icrf
+
+        return build_icrf(database, spec, seed=seed)
+
+    def state_dict(self) -> dict:
+        """Serialise weights and Gibbs-chain state for session checkpoints."""
+        return {
+            "weights": self._model.weights.values.tolist(),
+            "sampler": self._sampler.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot bit-for-bit."""
+        self._model.set_weights(
+            CrfWeights(np.asarray(state["weights"], dtype=float))
+        )
+        self._sampler.load_state_dict(state["sampler"])
 
     @property
     def database(self) -> FactDatabase:

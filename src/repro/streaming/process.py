@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro._legacy import warn_legacy
 from repro.crf.model import CrfModel
 from repro.crf.potentials import sigmoid
 from repro.crf.weights import CrfWeights
@@ -99,6 +100,10 @@ class StreamingFactChecker:
         engine: Union[None, str, EngineConfig] = None,
         seed: RandomState = None,
     ) -> None:
+        warn_legacy(
+            "StreamingFactChecker(...) with keyword arguments",
+            "repro.api.FactCheckSession with a SessionSpec(mode='streaming')",
+        )
         self._schedule = schedule if schedule is not None else RobbinsMonroSchedule()
         self._aggregation = aggregation
         self._coupling_enabled = coupling_enabled
@@ -128,6 +133,87 @@ class StreamingFactChecker:
         self._model: Optional[CrfModel] = None
 
     # ------------------------------------------------------------------
+    # Declarative construction and checkpoint state
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec, seed: RandomState = None):
+        """Construct from a declarative :class:`repro.api.SessionSpec`.
+
+        Uses ``spec.stream`` for the online-EM schedule and
+        ``spec.inference`` for the shared model settings; the preferred
+        entry point is :class:`repro.api.FactCheckSession`.
+        """
+        from repro.api.build import build_checker
+
+        return build_checker(spec, seed=seed)
+
+    def state_dict(self) -> dict:
+        """Serialise the complete online-EM state (JSON-compatible)."""
+        from repro.datasets.io import (
+            claim_to_dict,
+            document_to_dict,
+            source_to_dict,
+        )
+        from repro.utils.rng import rng_state
+
+        return {
+            "t": self._t,
+            "sources": [source_to_dict(source) for source in self._sources],
+            "documents": [document_to_dict(doc) for doc in self._documents],
+            "claims": [claim_to_dict(claim) for claim in self._claims],
+            "probabilities": dict(self._probabilities),
+            "labels": dict(self._labels),
+            "weights": (
+                None if self._weights is None else self._weights.values.tolist()
+            ),
+            "rng": rng_state(self._rng),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot bit-for-bit.
+
+        The checker must have been constructed with the same configuration
+        (schedule, aggregation, engine backend, …) — typically from the
+        same :class:`~repro.api.SessionSpec`.
+        """
+        from repro.datasets.io import (
+            claim_from_dict,
+            document_from_dict,
+            source_from_dict,
+        )
+        from repro.utils.rng import set_rng_state
+
+        self._sources = [source_from_dict(entry) for entry in state["sources"]]
+        self._documents = [
+            document_from_dict(entry) for entry in state["documents"]
+        ]
+        self._claims = [claim_from_dict(entry) for entry in state["claims"]]
+        self._known_sources = {source.source_id for source in self._sources}
+        self._known_documents = {doc.document_id for doc in self._documents}
+        self._known_claims = {claim.claim_id for claim in self._claims}
+        self._probabilities = {
+            str(key): float(value)
+            for key, value in state["probabilities"].items()
+        }
+        self._labels = {
+            str(key): int(value) for key, value in state["labels"].items()
+        }
+        weights = state["weights"]
+        self._weights = (
+            None
+            if weights is None
+            else CrfWeights(np.asarray(weights, dtype=float))
+        )
+        self._t = int(state["t"])
+        set_rng_state(self._rng, state["rng"])
+        self._database = None
+        self._model = None
+        self._engine = None
+        if self._claims:
+            self._rebuild()
+
+    # ------------------------------------------------------------------
     # State
     # ------------------------------------------------------------------
 
@@ -147,14 +233,40 @@ class StreamingFactChecker:
         if self._model is not None:
             self._model.set_weights(self._weights)
 
-    def record_label(self, claim_id: str, value: int) -> None:
-        """Register user input so it survives future rebuilds."""
+    def record_label(self, claim: Union[str, int], value: int) -> None:
+        """Register user input so it survives future rebuilds.
+
+        Args:
+            claim: Claim identifier, or a dense index into the *current*
+                snapshot database (historically the two addressing schemes
+                were inconsistent across the public surface; both are now
+                accepted and mapped to the stable string identifier).
+            value: User label, 0 or 1.
+        """
         if value not in (0, 1):
             raise StreamingError(f"label must be 0 or 1, got {value!r}")
+        claim_id = self._resolve_claim_id(claim)
         self._labels[claim_id] = value
         self._probabilities[claim_id] = float(value)
         if self._database is not None and claim_id in self._known_claims:
             self._database.label(self._database.claim_position(claim_id), value)
+
+    def _resolve_claim_id(self, claim: Union[str, int]) -> str:
+        """Map an index or identifier onto the stable claim identifier."""
+        if isinstance(claim, str):
+            return claim
+        index = int(claim)
+        if self._database is None:
+            raise StreamingError(
+                "cannot address claims by index before the first arrival; "
+                "use the string claim id"
+            )
+        if not 0 <= index < self._database.num_claims:
+            raise StreamingError(
+                f"claim index {index} out of range for the current snapshot "
+                f"of {self._database.num_claims} claims"
+            )
+        return self._database.claim_id(index)
 
     @property
     def database(self) -> FactDatabase:

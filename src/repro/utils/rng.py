@@ -42,6 +42,23 @@ def derive_rng(rng: np.random.Generator, stream: int = 0) -> np.random.Generator
     return np.random.default_rng(seed_seq)
 
 
+def rng_state(rng: np.random.Generator) -> dict:
+    """Serialise a generator's exact position in its bit stream.
+
+    The returned dictionary is JSON-compatible (Python's ``json`` handles
+    the arbitrary-precision integers of the PCG64 state) and restores the
+    generator bit-for-bit through :func:`set_rng_state` — the mechanism
+    the session checkpoints of :mod:`repro.api` use to make a resumed run
+    reproduce the uninterrupted one exactly.
+    """
+    return rng.bit_generator.state
+
+
+def set_rng_state(rng: np.random.Generator, state: dict) -> None:
+    """Reposition an existing generator to a :func:`rng_state` snapshot."""
+    rng.bit_generator.state = state
+
+
 def spawn_rngs(seed: RandomState, count: int) -> list[np.random.Generator]:
     """Create ``count`` independent generators from a single seed."""
     if count < 0:

@@ -71,6 +71,26 @@ class SimulatedUser(User):
         """Number of claims the user declined."""
         return self._skips
 
+    def state_dict(self) -> dict:
+        """Serialise counters and RNG position for session checkpoints."""
+        from repro.utils.rng import rng_state
+
+        return {
+            "validations": self._validations,
+            "mistakes": self._mistakes,
+            "skips": self._skips,
+            "rng": rng_state(self._rng),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot bit-for-bit."""
+        from repro.utils.rng import set_rng_state
+
+        self._validations = int(state["validations"])
+        self._mistakes = int(state["mistakes"])
+        self._skips = int(state["skips"])
+        set_rng_state(self._rng, state["rng"])
+
     def validate(self, claim: Claim) -> Optional[int]:
         """Answer from ground truth, possibly skipped or flipped."""
         if claim.truth is None:

@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro._legacy import suppress_legacy_warnings, warn_legacy
 from repro.crf.entropy import (
     approximate_entropy,
     source_trust_from_grounding,
@@ -108,6 +109,10 @@ class ValidationProcess:
         engine=None,
         seed: RandomState = None,
     ) -> None:
+        warn_legacy(
+            "ValidationProcess(...) with keyword arguments",
+            "repro.api.FactCheckSession with a SessionSpec",
+        )
         if batch_size < 1:
             raise ValidationProcessError("batch_size must be at least 1")
         if budget is not None and budget < 1:
@@ -118,11 +123,12 @@ class ValidationProcess:
         self.user = user
         self.goal = goal if goal is not None else NoGoal()
         self.budget = budget if budget is not None else database.num_claims
-        self.icrf = (
-            icrf
-            if icrf is not None
-            else ICrf(database, engine=engine, seed=derive_rng(rng, 0))
-        )
+        with suppress_legacy_warnings():
+            self.icrf = (
+                icrf
+                if icrf is not None
+                else ICrf(database, engine=engine, seed=derive_rng(rng, 0))
+            )
         self.components = ComponentIndex(database)
         self.gains = GainEstimator(
             self.icrf.model,
@@ -152,6 +158,107 @@ class ValidationProcess:
         self._iteration = 0
         self._validations_since_check = 0
         self.robustness_stats = RobustnessStats()
+
+    # ------------------------------------------------------------------
+    # Declarative construction and checkpoint state
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, database, spec, user=None, icrf=None, seed=None):
+        """Construct from a declarative :class:`repro.api.SessionSpec`.
+
+        This is the non-deprecated constructor path; the preferred entry
+        point is :class:`repro.api.FactCheckSession`, which adds lifecycle
+        management and checkpointing on top.
+        """
+        from repro.api.build import build_process
+
+        return build_process(database, spec, user=user, icrf=icrf, seed=seed)
+
+    def state_dict(self) -> dict:
+        """Serialise the complete mutable run state (JSON-compatible).
+
+        Covers database labels and probabilities, model weights, the Gibbs
+        chain, every RNG position, the trace, and the auxiliary counters —
+        everything needed so :meth:`load_state_dict` on an identically
+        configured process reproduces the uninterrupted run bit-for-bit.
+        The structure of the database is *not* included; checkpoints store
+        it separately (see :mod:`repro.api.checkpoint`).
+        """
+        from dataclasses import asdict
+
+        from repro.utils.rng import rng_state
+
+        user_state = None
+        if hasattr(self.user, "state_dict"):
+            user_state = self.user.state_dict()
+        return {
+            "database": {
+                "probabilities": np.asarray(self.database.probabilities).tolist(),
+                "labels": {
+                    str(index): int(value)
+                    for index, value in self.database.labels.items()
+                },
+            },
+            "icrf": self.icrf.state_dict(),
+            "rng": {
+                "process": rng_state(self._rng),
+                "gains": rng_state(self.gains._rng),
+            },
+            "user": user_state,
+            "hybrid_score": self._hybrid_score,
+            "iteration": self._iteration,
+            "validations_since_check": self._validations_since_check,
+            "robustness_stats": asdict(self.robustness_stats),
+            "termination": [
+                {key: value for key, value in criterion.__dict__.items()}
+                for criterion in self.termination
+            ],
+            "grounding": (
+                None if self._grounding is None else self._grounding.values.tolist()
+            ),
+            "trace": None if self._trace is None else self._trace.to_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto this process.
+
+        The process must have been constructed with the same configuration
+        (same database structure, strategy, goal, termination criteria, and
+        engine backend) — typically by rebuilding it from the same
+        :class:`~repro.api.SessionSpec`.
+        """
+        from repro.data.database import FactDatabaseState
+        from repro.utils.rng import set_rng_state
+
+        self.database.restore_state(
+            FactDatabaseState(
+                probabilities=np.asarray(
+                    state["database"]["probabilities"], dtype=float
+                ),
+                labels={
+                    int(index): int(value)
+                    for index, value in state["database"]["labels"].items()
+                },
+            )
+        )
+        self.icrf.load_state_dict(state["icrf"])
+        set_rng_state(self._rng, state["rng"]["process"])
+        set_rng_state(self.gains._rng, state["rng"]["gains"])
+        if state.get("user") is not None and hasattr(self.user, "load_state_dict"):
+            self.user.load_state_dict(state["user"])
+        self._hybrid_score = float(state["hybrid_score"])
+        self._iteration = int(state["iteration"])
+        self._validations_since_check = int(state["validations_since_check"])
+        self.robustness_stats = RobustnessStats(**state["robustness_stats"])
+        for criterion, criterion_state in zip(
+            self.termination, state["termination"]
+        ):
+            criterion.__dict__.update(criterion_state)
+        grounding = state.get("grounding")
+        self._grounding = None if grounding is None else Grounding(grounding)
+        trace = state.get("trace")
+        self._trace = None if trace is None else ValidationTrace.from_dict(trace)
 
     # ------------------------------------------------------------------
     # State accessors
@@ -277,6 +384,7 @@ class ValidationProcess:
         record = IterationRecord(
             iteration=self._iteration,
             claim_indices=list(claims),
+            claim_ids=[self.database.claim_id(int(c)) for c in claims],
             user_values=list(values),
             strategy_used=getattr(self.strategy, "last_choice", "")
             or self.strategy.name,
@@ -298,8 +406,20 @@ class ValidationProcess:
     # Full run
     # ------------------------------------------------------------------
 
-    def run(self, max_iterations: Optional[int] = None) -> ValidationTrace:
-        """Run Alg. 1 until goal, budget, exhaustion, or early termination."""
+    def run(
+        self,
+        max_iterations: Optional[int] = None,
+        on_iteration=None,
+    ) -> ValidationTrace:
+        """Run Alg. 1 until goal, budget, exhaustion, or early termination.
+
+        Args:
+            max_iterations: Hard cap on total trace iterations (counting
+                iterations restored from a checkpoint).
+            on_iteration: Optional callable invoked with every new
+                :class:`IterationRecord` — progress reporting hook used by
+                the session façade and the CLI.
+        """
         trace = self.initialize()
         while True:
             if self.goal.satisfied(self):
@@ -315,6 +435,8 @@ class ValidationProcess:
                 trace.stop_reason = "max_iterations"
                 break
             record = self.step()
+            if on_iteration is not None:
+                on_iteration(record)
             reason = self._check_termination(record)
             if reason is not None:
                 trace.stop_reason = reason

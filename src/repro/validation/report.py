@@ -63,6 +63,10 @@ def summarize_trace(trace: ValidationTrace) -> TraceSummary:
     final_precision = None
     if records and not np.isnan(precisions[-1]):
         final_precision = float(precisions[-1])
+    elif not records and trace.stop_reason != "unfinished":
+        # A run that stopped before its first iteration (e.g. the goal was
+        # already satisfied by the initial inference) ends where it began.
+        final_precision = trace.initial_precision
     entropies = trace.entropies()
     if trace.initial_entropy > 0 and entropies.size:
         entropy_drop = float(

@@ -38,6 +38,10 @@ class IterationRecord:
         response_seconds: Wall-clock time of selection + inference.
         skipped: Claims the user declined before one was accepted (§8.5).
         repairs: Labels re-elicited by the confirmation check (§5.2).
+        claim_ids: String identifiers of the validated claims, parallel to
+            ``claim_indices``.  Indices address the snapshot the record was
+            produced on; identifiers stay stable across streaming rebuilds,
+            so the session API reports claims by id.
         effort_units: Total user interactions consumed this iteration
             (validations + repairs, as in Fig. 7's "label+repair effort").
     """
@@ -56,11 +60,37 @@ class IterationRecord:
     response_seconds: float
     skipped: int = 0
     repairs: int = 0
+    claim_ids: List[str] = field(default_factory=list)
 
     @property
     def effort_units(self) -> int:
         """User interactions consumed (validations plus repairs)."""
         return len(self.claim_indices) + self.repairs
+
+    def to_dict(self) -> dict:
+        """Render the record as a JSON-compatible dictionary."""
+        return {
+            "iteration": self.iteration,
+            "claim_indices": [int(c) for c in self.claim_indices],
+            "user_values": [int(v) for v in self.user_values],
+            "strategy_used": self.strategy_used,
+            "error_rate": float(self.error_rate),
+            "hybrid_score": float(self.hybrid_score),
+            "unreliable_ratio": float(self.unreliable_ratio),
+            "entropy": float(self.entropy),
+            "precision": None if self.precision is None else float(self.precision),
+            "grounding_changes": int(self.grounding_changes),
+            "predictions_matched": [bool(m) for m in self.predictions_matched],
+            "response_seconds": float(self.response_seconds),
+            "skipped": int(self.skipped),
+            "repairs": int(self.repairs),
+            "claim_ids": list(self.claim_ids),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "IterationRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**payload)
 
 
 @dataclass
@@ -83,6 +113,41 @@ class ValidationTrace:
     records: List[IterationRecord] = field(default_factory=list)
     final_grounding: Optional[Grounding] = None
     stop_reason: str = "unfinished"
+
+    def to_dict(self) -> dict:
+        """Render the trace as a JSON-compatible dictionary."""
+        return {
+            "num_claims": int(self.num_claims),
+            "initial_precision": (
+                None
+                if self.initial_precision is None
+                else float(self.initial_precision)
+            ),
+            "initial_entropy": float(self.initial_entropy),
+            "stop_reason": self.stop_reason,
+            "final_grounding": (
+                None
+                if self.final_grounding is None
+                else self.final_grounding.values.tolist()
+            ),
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ValidationTrace":
+        """Inverse of :meth:`to_dict`."""
+        grounding = payload.get("final_grounding")
+        return cls(
+            num_claims=payload["num_claims"],
+            initial_precision=payload.get("initial_precision"),
+            initial_entropy=payload["initial_entropy"],
+            records=[
+                IterationRecord.from_dict(entry)
+                for entry in payload.get("records", [])
+            ],
+            final_grounding=None if grounding is None else Grounding(grounding),
+            stop_reason=payload.get("stop_reason", "unfinished"),
+        )
 
     # ------------------------------------------------------------------
     # Series accessors used by the experiment drivers

@@ -1,0 +1,192 @@
+"""Bit-for-bit checkpoint/resume tests (repro.api.checkpoint).
+
+Golden-fixture style: the uninterrupted run *is* the golden reference —
+the same spec is run once to completion, and once interrupted mid-run,
+checkpointed, reloaded, and continued.  Every trace field except
+wall-clock time, the final weights, the final probabilities, and the
+onward RNG streams must match exactly, for both engine backends and both
+session modes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import FactCheckSession, SessionSpec
+from repro.errors import CheckpointError
+from repro.streaming import stream_from_database
+
+from tests.fixtures import build_micro_database
+
+ENGINES = ("numpy", "reference")
+
+
+def batch_spec(engine: str) -> SessionSpec:
+    return SessionSpec(
+        seed=11,
+        dataset={"name": "wiki", "seed": 42, "scale": 0.15},
+        inference={"engine": engine, "em_iterations": 2, "num_samples": 8},
+        guidance={"strategy": "hybrid", "candidate_limit": 10},
+        user={"error_probability": 0.1, "skip_probability": 0.1},
+        effort={
+            "goal": {"kind": "none"},
+            "budget": 8,
+            "confirmation_interval": 3,
+            "termination": [
+                {"kind": "urr", "params": {"threshold": 0.001, "patience": 6}}
+            ],
+        },
+    )
+
+
+def streaming_spec(engine: str) -> SessionSpec:
+    return SessionSpec(
+        mode="streaming",
+        seed=5,
+        inference={"engine": engine, "em_iterations": 2, "num_samples": 8},
+        guidance={"strategy": "hybrid", "candidate_limit": 10},
+        effort={"goal": {"kind": "none"}},
+        stream={"validation_every": 4},
+    )
+
+
+def assert_records_identical(golden, resumed):
+    """Record-level equality, excluding wall-clock response times."""
+    assert len(golden) == len(resumed)
+    for a, b in zip(golden, resumed):
+        assert a.iteration == b.iteration
+        assert a.claim_indices == b.claim_indices
+        assert a.claim_ids == b.claim_ids
+        assert a.user_values == b.user_values
+        assert a.strategy_used == b.strategy_used
+        assert a.error_rate == b.error_rate
+        assert a.hybrid_score == b.hybrid_score
+        assert a.unreliable_ratio == b.unreliable_ratio
+        assert a.entropy == b.entropy
+        assert a.precision == b.precision
+        assert a.grounding_changes == b.grounding_changes
+        assert a.predictions_matched == b.predictions_matched
+        assert a.skipped == b.skipped
+        assert a.repairs == b.repairs
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestBatchResume:
+    def test_resumed_run_matches_uninterrupted(self, engine, tmp_path):
+        golden = FactCheckSession(batch_spec(engine)).run()
+
+        interrupted = FactCheckSession(batch_spec(engine)).open()
+        for _ in range(3):
+            interrupted.step()
+        path = tmp_path / "batch.json"
+        interrupted.save(path)
+
+        resumed_session = FactCheckSession.load(path)
+        assert resumed_session.trace.iterations == 3
+        resumed = resumed_session.run()
+
+        assert golden.stop_reason == resumed.stop_reason
+        assert_records_identical(golden.trace.records, resumed.trace.records)
+        assert golden.validated_claim_ids == resumed.validated_claim_ids
+        assert np.array_equal(golden.weights.values, resumed.weights.values)
+        assert golden.final_precision == resumed.final_precision
+        assert golden.trace.final_grounding == resumed.trace.final_grounding
+
+    def test_resume_restores_database_state(self, engine, tmp_path):
+        session = FactCheckSession(batch_spec(engine)).open()
+        session.step()
+        session.step()
+        path = tmp_path / "state.json"
+        session.save(path)
+        resumed = FactCheckSession.load(path)
+        original = session.database
+        restored = resumed.database
+        assert np.array_equal(
+            np.asarray(original.probabilities), np.asarray(restored.probabilities)
+        )
+        assert original.labels == restored.labels
+        # The corpus structure itself round-trips through the checkpoint.
+        assert [c.claim_id for c in original.claims] == [
+            c.claim_id for c in restored.claims
+        ]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestStreamingResume:
+    def test_resumed_stream_matches_uninterrupted(self, engine, tmp_path):
+        database = build_database()
+        arrivals = list(stream_from_database(database))
+        cut = len(arrivals) // 2
+
+        golden = FactCheckSession(streaming_spec(engine)).run(arrivals=arrivals)
+
+        interrupted = FactCheckSession(streaming_spec(engine)).open()
+        every = 4
+        for arrival in arrivals[:cut]:
+            interrupted.observe(arrival)
+            if interrupted._since_validation >= every:
+                interrupted.validate(every)
+        path = tmp_path / "stream.json"
+        interrupted.save(path)
+
+        resumed_session = FactCheckSession.load(path)
+        resumed = resumed_session.run(arrivals=arrivals[cut:])
+
+        assert len(golden.stream_updates) == len(resumed.stream_updates)
+        for a, b in zip(golden.stream_updates, resumed.stream_updates):
+            assert a.arrival_index == b.arrival_index
+            assert a.step_size == b.step_size
+            assert np.array_equal(a.weights.values, b.weights.values)
+            assert a.num_claims == b.num_claims
+        assert golden.validated_claim_ids == resumed.validated_claim_ids
+        assert_records_identical(golden.trace.records, resumed.trace.records)
+        assert np.array_equal(golden.weights.values, resumed.weights.values)
+        assert golden.final_precision == resumed.final_precision
+
+
+def build_database():
+    """Small multi-source corpus for the streaming resume test."""
+    from repro.datasets import load_dataset
+
+    return load_dataset("health", seed=5, scale=0.02)
+
+
+class TestCheckpointFormat:
+    def test_checkpoint_is_json_with_headers(self, tmp_path):
+        session = FactCheckSession(
+            SessionSpec(seed=1), database=build_micro_database()
+        ).open()
+        path = tmp_path / "ckpt.json"
+        session.save(path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-session-checkpoint"
+        assert payload["version"] == 1
+        assert payload["mode"] == "batch"
+        assert "spec" in payload and "state" in payload
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(CheckpointError):
+            FactCheckSession.load(path)
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            FactCheckSession.load(tmp_path / "absent.json")
+
+    def test_loaded_session_is_open_and_steppable(self, tmp_path):
+        database = build_micro_database()
+        session = FactCheckSession(
+            SessionSpec(seed=1, effort={"goal": {"kind": "none"}}),
+            database=database,
+        ).open()
+        session.step()
+        path = tmp_path / "ckpt.json"
+        session.save(path)
+        resumed = FactCheckSession.load(path)
+        assert resumed.status == "open"
+        record = resumed.step()
+        assert record.iteration == 2

@@ -84,3 +84,54 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Table 3" in output
         assert "wiki" in output
+
+
+class TestSessionWorkflow:
+    """The declarative session flags: --save-spec / --spec / --checkpoint / --resume."""
+
+    def test_save_spec_writes_session_spec_json(self, tmp_path, capsys):
+        from repro.api import SessionSpec
+
+        out = tmp_path / "spec.json"
+        code = main(
+            ["validate", "--dataset", "wiki", "--scale", "0.1",
+             "--seed", "3", "--goal", "0.85", "--save-spec", str(out)]
+        )
+        assert code == 0
+        spec = SessionSpec.from_json(out.read_text())
+        assert spec.dataset.name == "wiki"
+        assert spec.effort.goal.threshold == 0.85
+
+    def test_spec_checkpoint_resume_round_trip(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        ckpt_path = tmp_path / "ckpt.json"
+        main(
+            ["validate", "--dataset", "wiki", "--scale", "0.1", "--seed", "3",
+             "--goal", "0.9", "--budget", "2", "--save-spec", str(spec_path)]
+        )
+        code = main(
+            ["validate", "--spec", str(spec_path), "--quiet",
+             "--checkpoint", str(ckpt_path)]
+        )
+        assert code == 0
+        assert ckpt_path.exists()
+        capsys.readouterr()
+        code = main(["validate", "--resume", str(ckpt_path), "--quiet"])
+        assert code == 0
+        assert "stop reason" in capsys.readouterr().out
+
+    def test_resume_rejects_streaming_checkpoint(self, tmp_path, capsys):
+        from repro.api import FactCheckSession, SessionSpec
+        from repro.streaming import stream_from_database
+        from tests.fixtures import build_micro_database
+
+        session = FactCheckSession(
+            SessionSpec(mode="streaming", seed=1)
+        ).open()
+        for arrival in stream_from_database(build_micro_database()):
+            session.observe(arrival)
+        ckpt = tmp_path / "stream.json"
+        session.save(ckpt)
+        code = main(["validate", "--resume", str(ckpt)])
+        assert code == 2
+        assert "batch" in capsys.readouterr().out

@@ -1,0 +1,47 @@
+"""Smoke tests executing every example script against the session API.
+
+Each ``examples/*.py`` runs as a subprocess at reduced scale
+(``EXAMPLE_SMOKE=1``), so drift in the façade surface breaks the build —
+the examples double as living documentation of the public API.  CI also
+runs these scripts directly (see ``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_every_example_is_covered():
+    """The parametrised list below must track the examples directory."""
+    assert EXAMPLES, "no examples found"
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    env["EXAMPLE_SMOKE"] = "1"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        [sys.executable, "-W", "error::DeprecationWarning", str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert completed.returncode == 0, (
+        f"{script} failed\nstdout:\n{completed.stdout[-2000:]}\n"
+        f"stderr:\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{script} produced no output"
