@@ -8,6 +8,9 @@ recommended entry point is the declarative session API:
   the :class:`FactCheckSession` façade unifying batch validation (Alg. 1)
   and streaming claim arrival (Alg. 2) behind one lifecycle with
   checkpoint/resume.
+* :mod:`repro.service` — the multi-session service layer: a managed
+  registry of sessions behind an HTTP API (``python -m repro serve``)
+  with checkpoint-backed durability; see ``docs/SERVICE.md``.
 
 The paper-structured subsystems remain importable for advanced use:
 
@@ -60,7 +63,13 @@ from repro.datasets import load_database, load_dataset, save_database
 from repro.errors import ReproError, SessionError, SpecError
 from repro.guidance import make_strategy
 from repro.inference import ICrf
-from repro.streaming import ClaimArrival, StreamingFactChecker, stream_from_database
+from repro.streaming import (
+    ClaimArrival,
+    StreamingFactChecker,
+    arrival_from_dict,
+    arrival_to_dict,
+    stream_from_database,
+)
 from repro.validation import (
     SimulatedUser,
     TruePrecisionGoal,
@@ -69,7 +78,7 @@ from repro.validation import (
     ValidationTrace,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # Declarative session API (preferred surface).
@@ -93,6 +102,8 @@ __all__ = [
     "Grounding",
     "Source",
     "Stance",
+    "arrival_from_dict",
+    "arrival_to_dict",
     "load_database",
     "load_dataset",
     "save_database",

@@ -12,13 +12,27 @@ uninterrupted run exactly (asserted by ``tests/test_api_checkpoint.py``).
 Python's ``json`` round-trips both ``float`` values (shortest-repr) and the
 arbitrary-precision integers of the PCG64 RNG state losslessly, which is
 what makes a textual checkpoint format viable for bit-for-bit resume.
+
+Two compaction mechanisms keep checkpoints small for large corpora:
+
+* paths ending in ``.gz`` (the service spool uses ``.json.gz``) are
+  gzip-compressed on write and detected transparently on read;
+* version-2 checkpoints of sessions whose corpus came from a
+  :class:`~repro.api.specs.DatasetSpec` store only a structural
+  fingerprint instead of re-embedding the full corpus — loading
+  regenerates the corpus from the spec (generation is deterministic) and
+  verifies the fingerprint.  Version-1 checkpoints (corpus embedded) load
+  unchanged.
 """
 
 from __future__ import annotations
 
+import gzip
+import hashlib
 import json
+import os
 from pathlib import Path
-from typing import List, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -30,7 +44,14 @@ from repro.streaming.process import StreamUpdate
 CHECKPOINT_FORMAT = "repro-session-checkpoint"
 
 #: Version written into every checkpoint; bumped on breaking changes.
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
+
+#: Versions :func:`read_checkpoint` accepts (v1 embedded the corpus
+#: unconditionally; v2 may replace it with a dataset fingerprint).
+SUPPORTED_CHECKPOINT_VERSIONS = (1, 2)
+
+#: gzip magic bytes — how compressed checkpoints are detected on read.
+_GZIP_MAGIC = b"\x1f\x8b"
 
 
 def stream_update_to_dict(update: StreamUpdate) -> dict:
@@ -59,34 +80,98 @@ def stream_update_from_dict(entry: dict) -> StreamUpdate:
     )
 
 
-def write_checkpoint(path: Union[str, Path], payload: dict) -> None:
-    """Write a checkpoint payload (already carrying format headers)."""
+def write_checkpoint(
+    path: Union[str, Path], payload: dict, compress: Optional[bool] = None
+) -> None:
+    """Write a checkpoint payload (already carrying format headers).
+
+    Args:
+        path: Destination file.
+        compress: gzip the JSON document.  Defaults to ``True`` when the
+            path ends in ``.gz`` (e.g. ``session.json.gz``), else ``False``.
+    """
     path = Path(path)
+    if compress is None:
+        compress = path.suffix == ".gz"
     try:
         document = json.dumps(payload)
     except (TypeError, ValueError) as exc:
         raise CheckpointError(f"checkpoint is not JSON-serialisable: {exc}") from exc
-    path.write_text(document, encoding="utf-8")
+    raw = document.encode("utf-8")
+    if compress:
+        raw = gzip.compress(raw)
+    # Atomic replace: a crash mid-write must never leave a torn
+    # checkpoint where a good one stood (the service spool rewrites these
+    # files after every mutating request).
+    staging = path.with_name(path.name + ".tmp")
+    staging.write_bytes(raw)
+    os.replace(staging, path)
 
 
 def read_checkpoint(path: Union[str, Path]) -> dict:
-    """Read and validate a checkpoint written by :func:`write_checkpoint`."""
+    """Read and validate a checkpoint written by :func:`write_checkpoint`.
+
+    Compression is detected from the file contents (gzip magic bytes), so
+    ``.json`` and ``.json.gz`` checkpoints load through the same call.
+    """
     path = Path(path)
     try:
-        payload = json.loads(path.read_text(encoding="utf-8"))
+        raw = path.read_bytes()
     except FileNotFoundError:
         raise CheckpointError(f"no checkpoint at {path}") from None
-    except json.JSONDecodeError as exc:
+    if raw.startswith(_GZIP_MAGIC):
+        try:
+            raw = gzip.decompress(raw)
+        except OSError as exc:
+            raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from exc
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from exc
     if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
         raise CheckpointError(f"{path} is not a repro session checkpoint")
     version = payload.get("version")
-    if version != CHECKPOINT_VERSION:
+    if version not in SUPPORTED_CHECKPOINT_VERSIONS:
         raise CheckpointError(
             f"unsupported checkpoint version {version!r}; "
-            f"expected {CHECKPOINT_VERSION}"
+            f"supported: {SUPPORTED_CHECKPOINT_VERSIONS}"
         )
     return payload
+
+
+def database_fingerprint(database) -> dict:
+    """Structural fingerprint stored in place of a regenerable corpus.
+
+    Cheap to compute and verify, yet strong enough to catch a drifted
+    :class:`~repro.api.specs.DatasetSpec` (changed seed/scale/profile or an
+    edited corpus file): entity counts plus a content digest over the
+    claim identifiers and their ground truths (generated claim ids are
+    positional, so counts alone cannot distinguish two seeds at the same
+    scale — the truth pattern can).
+    """
+    digest = hashlib.sha256()
+    for claim in database.claims:
+        digest.update(claim.claim_id.encode("utf-8"))
+        digest.update(b"\x1f")
+        digest.update(str(claim.truth).encode("utf-8"))
+        digest.update(b"\x1e")
+    return {
+        "num_claims": database.num_claims,
+        "num_documents": len(database.documents),
+        "num_sources": len(database.sources),
+        "claims_digest": digest.hexdigest()[:16],
+    }
+
+
+def verify_fingerprint(database, fingerprint: dict, path) -> None:
+    """Raise :class:`CheckpointError` when a regenerated corpus mismatches."""
+    actual = database_fingerprint(database)
+    if actual != fingerprint:
+        raise CheckpointError(
+            f"corpus regenerated from the spec does not match the corpus "
+            f"checkpointed at {path}: expected {fingerprint}, got {actual} "
+            f"(was the dataset file or generator changed?)"
+        )
 
 
 def records_to_dicts(records: List) -> List[dict]:

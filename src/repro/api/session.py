@@ -122,6 +122,7 @@ class FactCheckSession:
         self._spec = spec
         self._status = "new"
         self._explicit_database = database
+        self._database_from_spec = False
         self._explicit_user = user
         self._user: Optional[User] = None
         self._result: Optional[SessionResult] = None
@@ -222,6 +223,9 @@ class FactCheckSession:
         root = ensure_rng(spec.seed)
         if spec.mode == "batch":
             database = resolve_database(spec, self._explicit_database)
+            self._database_from_spec = (
+                self._explicit_database is None and spec.dataset is not None
+            )
             self._user = (
                 self._explicit_user
                 if self._explicit_user is not None
@@ -335,6 +339,44 @@ class FactCheckSession:
         self._since_validation = 0
         return records
 
+    def ingest(
+        self,
+        arrivals: Iterable[ClaimArrival],
+        on_update=None,
+        after_arrival=None,
+    ) -> List[StreamUpdate]:
+        """Observe a sequence of arrivals with the spec's interleave schedule.
+
+        The canonical streaming loop shared by :meth:`run` and the service
+        layer: each arrival is observed, and a validation burst of
+        ``spec.stream.validation_every`` claims is interleaved after every
+        that many arrivals (Alg. 2 with §7 parameter exchange).  A stream
+        delivered across any number of ``ingest`` calls behaves exactly
+        like one uninterrupted call.
+
+        Args:
+            arrivals: The claim arrivals to observe, in order.
+            on_update: Callable invoked with each :class:`StreamUpdate` as
+                it is produced (before any interleaved validation).
+            after_arrival: Callable invoked after the arrival is fully
+                processed — interleaved validation included — which is the
+                consistent point for periodic checkpoints.
+        """
+        self._require_open()
+        self._require_mode("streaming", "ingest")
+        every = self._spec.stream.validation_every
+        updates: List[StreamUpdate] = []
+        for arrival in arrivals:
+            update = self.observe(arrival)
+            updates.append(update)
+            if on_update is not None:
+                on_update(update)
+            if every is not None and self._since_validation >= every:
+                self.validate(every)
+            if after_arrival is not None:
+                after_arrival(update)
+        return updates
+
     def record_label(self, claim: Union[str, int], value: int) -> None:
         """Register external user input for a claim (id or index)."""
         self._require_open()
@@ -356,6 +398,8 @@ class FactCheckSession:
         arrivals: Optional[Iterable[ClaimArrival]] = None,
         max_iterations: Optional[int] = None,
         on_iteration=None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path=None,
     ) -> SessionResult:
         """Drive the session to completion and close it.
 
@@ -370,26 +414,56 @@ class FactCheckSession:
             on_iteration: Callable invoked with every
                 :class:`IterationRecord` (batch) or :class:`StreamUpdate`
                 (streaming) as it is produced.
+            checkpoint_every: Auto-checkpoint the session after every N
+                iterations (batch) or arrivals (streaming), and once more
+                when the run finishes.  Checkpoints are taken at points
+                where the full mutable state reflects the work done, so
+                :meth:`load` + :meth:`run` from any of them reproduces the
+                uninterrupted run bit-for-bit.
+            checkpoint_path: Where auto-checkpoints are written (required
+                with ``checkpoint_every``; ``.gz`` paths are compressed).
         """
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise SessionError("checkpoint_every must be at least 1 (or None)")
+        if checkpoint_every is not None and checkpoint_path is None:
+            raise SessionError("checkpoint_every needs a checkpoint_path")
         if self._status == "new":
             self.open()
         self._require_open()
         if self.mode == "batch":
             if arrivals is not None:
                 raise SessionError("batch sessions take no arrivals; use mode='streaming'")
+            after_iteration = None
+            if checkpoint_every is not None:
+                completed = [0]
+
+                def after_iteration(record) -> None:
+                    completed[0] += 1
+                    if completed[0] % checkpoint_every == 0:
+                        self.save(checkpoint_path)
+
             self._process.run(
-                max_iterations=max_iterations, on_iteration=on_iteration
+                max_iterations=max_iterations,
+                on_iteration=on_iteration,
+                after_iteration=after_iteration,
             )
         else:
             if arrivals is None:
                 raise SessionError("streaming sessions need an arrival iterable")
-            every = self._spec.stream.validation_every
-            for arrival in arrivals:
-                update = self.observe(arrival)
-                if on_iteration is not None:
-                    on_iteration(update)
-                if every is not None and self._since_validation >= every:
-                    self.validate(every)
+            after_arrival = None
+            if checkpoint_every is not None:
+                observed = [0]
+
+                def after_arrival(update) -> None:
+                    observed[0] += 1
+                    if observed[0] % checkpoint_every == 0:
+                        self.save(checkpoint_path)
+
+            self.ingest(
+                arrivals, on_update=on_iteration, after_arrival=after_arrival
+            )
+        if checkpoint_every is not None:
+            self.save(checkpoint_path)
         return self.close()
 
     # ------------------------------------------------------------------
@@ -413,14 +487,45 @@ class FactCheckSession:
             return self._result
         return self.close()
 
-    def _build_result(self) -> SessionResult:
+    def result_snapshot(self) -> SessionResult:
+        """A result describing the state *so far*, without closing.
+
+        Safe to call repeatedly on an open session (the service layer
+        serves ``GET .../result`` from it): nothing is mutated, stepping
+        and observing continue afterwards, and an open mid-run batch
+        session honestly reports ``stop_reason="unfinished"``.  On a
+        closed session this is simply the final result.
+        """
+        self._require_built()
+        if self._status == "closed":
+            assert self._result is not None
+            return self._result
+        return self._build_result(closing=False)
+
+    def _build_result(self, closing: bool = True) -> SessionResult:
         if self.mode == "batch":
             process = self._process
             trace = process.trace
-            if trace.stop_reason == "unfinished":
-                trace.stop_reason = "closed"
-            if trace.final_grounding is None and process._grounding is not None:
-                trace.final_grounding = process._grounding
+            if closing:
+                if trace.stop_reason == "unfinished":
+                    trace.stop_reason = "closed"
+                if trace.final_grounding is None and process._grounding is not None:
+                    trace.final_grounding = process._grounding
+            else:
+                # Snapshot: same content, but leave the live trace
+                # untouched so the session can keep running.
+                trace = ValidationTrace(
+                    num_claims=trace.num_claims,
+                    initial_precision=trace.initial_precision,
+                    initial_entropy=trace.initial_entropy,
+                    records=list(trace.records),
+                    final_grounding=(
+                        trace.final_grounding
+                        if trace.final_grounding is not None
+                        else process._grounding
+                    ),
+                    stop_reason=trace.stop_reason,
+                )
             # Iteration-validated claims first, then labels registered
             # externally through record_label().
             validated = [
@@ -440,7 +545,10 @@ class FactCheckSession:
                 weights=process.icrf.weights.copy(),
             )
         trace = self._streaming_trace()
-        trace.stop_reason = "stream_end" if self._updates else "closed"
+        if self._updates:
+            trace.stop_reason = "stream_end"
+        else:
+            trace.stop_reason = "closed" if closing else "unfinished"
         weights = self._checker.weights
         num_claims = 0
         num_labelled = 0
@@ -486,12 +594,22 @@ class FactCheckSession:
     # Checkpoint / resume
     # ------------------------------------------------------------------
 
-    def save(self, path) -> None:
+    def save(self, path, compress: Optional[bool] = None) -> None:
         """Write a checkpoint from which :meth:`load` resumes bit-for-bit.
 
         Available while the session is open *or* closed (a checkpoint of a
         finished run restores its final state); loading always yields an
         open session.
+
+        Batch sessions whose corpus was materialised from
+        ``spec.dataset`` store only a structural fingerprint instead of
+        re-embedding the corpus — :meth:`load` regenerates it from the spec
+        (corpus generation is deterministic) and verifies the fingerprint.
+
+        Args:
+            path: Destination file; a ``.gz`` suffix (e.g. ``.json.gz``)
+                gzip-compresses the document.
+            compress: Force compression on or off regardless of the suffix.
         """
         self._require_built()
         if not hasattr(self._user, "state_dict"):
@@ -509,7 +627,12 @@ class FactCheckSession:
         if self.mode == "batch":
             from repro.datasets.io import database_to_dict
 
-            payload["database"] = database_to_dict(self._process.database)
+            if self._database_from_spec:
+                payload["database_fingerprint"] = ckpt.database_fingerprint(
+                    self._process.database
+                )
+            else:
+                payload["database"] = database_to_dict(self._process.database)
             payload["state"] = {
                 "process": self._process.state_dict(),
                 "validated": list(self._validated),
@@ -530,7 +653,7 @@ class FactCheckSession:
                 "validated": list(self._validated),
                 "since_validation": self._since_validation,
             }
-        ckpt.write_checkpoint(path, payload)
+        ckpt.write_checkpoint(path, payload, compress=compress)
 
     @classmethod
     def load(
@@ -574,15 +697,30 @@ class FactCheckSession:
         if spec.mode == "batch":
             from repro.datasets.io import database_from_dict
 
-            corpus = (
-                database
-                if database is not None
-                else database_from_dict(payload["database"])
-            )
+            regenerated = False
+            if database is not None:
+                corpus = database
+            elif "database" in payload:
+                corpus = database_from_dict(payload["database"])
+            else:
+                # Compact checkpoint: the corpus was not embedded because
+                # the spec regenerates it deterministically.
+                if spec.dataset is None:
+                    raise CheckpointError(
+                        f"{path} embeds no corpus and its spec has no "
+                        f"dataset; pass database= to load()"
+                    )
+                corpus = spec.dataset.load()
+                regenerated = True
+            fingerprint = payload.get("database_fingerprint")
+            if fingerprint is not None:
+                ckpt.verify_fingerprint(corpus, fingerprint, path)
             session = cls(spec, database=corpus, user=user)
+            session._build(resume=payload["state"])
+            session._database_from_spec = regenerated
         else:
             session = cls(spec, user=user)
-        session._build(resume=payload["state"])
+            session._build(resume=payload["state"])
         session._status = "open"
         return session
 

@@ -55,7 +55,8 @@ def _check_fields(cls: Type[_S], payload: Mapping[str, Any]) -> None:
     if unknown:
         raise SpecError(
             f"{cls.__name__} does not accept {sorted(unknown)}; "
-            f"known fields: {sorted(known)}"
+            f"known fields: {sorted(known)}",
+            field=sorted(unknown)[0],
         )
 
 
@@ -66,9 +67,12 @@ def _build_config(cls: Type[_S], payload: Any, what: str) -> _S:
     if payload is None:
         return cls()
     if not isinstance(payload, Mapping):
-        raise SpecError(f"{what} must be a {cls.__name__} or a mapping")
-    _check_fields(cls, payload)
-    return cls(**payload)
+        raise SpecError(f"{what} must be a {cls.__name__} or a mapping", field=what)
+    try:
+        _check_fields(cls, payload)
+        return cls(**payload)
+    except SpecError as exc:
+        raise exc.with_prefix(what) from None
 
 
 @dataclass(frozen=True)
@@ -95,7 +99,7 @@ class DatasetSpec:
                 "or 'path' (JSON corpus file)"
             )
         if self.scale <= 0:
-            raise SpecError(f"scale must be positive, got {self.scale}")
+            raise SpecError(f"scale must be positive, got {self.scale}", field="scale")
 
     def load(self):
         """Materialise the corpus this spec describes."""
@@ -133,12 +137,13 @@ class UserSpec:
         if self.kind != "simulated":
             raise SpecError(
                 f"unknown user kind {self.kind!r}; pass a custom User object "
-                f"to the session for non-simulated users"
+                f"to the session for non-simulated users",
+                field="kind",
             )
         for name in ("error_probability", "skip_probability"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
-                raise SpecError(f"{name} must lie in [0, 1], got {value}")
+                raise SpecError(f"{name} must lie in [0, 1], got {value}", field=name)
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -185,21 +190,23 @@ class InferenceSpec:
         if self.estep_mode not in ICrf.ESTEP_MODES:
             raise SpecError(
                 f"estep_mode must be one of {ICrf.ESTEP_MODES}, "
-                f"got {self.estep_mode!r}"
+                f"got {self.estep_mode!r}",
+                field="estep_mode",
             )
         if self.engine not in ENGINE_BACKENDS:
             raise SpecError(
                 f"unknown engine backend {self.engine!r}; "
-                f"available: {tuple(sorted(ENGINE_BACKENDS))}"
+                f"available: {tuple(sorted(ENGINE_BACKENDS))}",
+                field="engine",
             )
         if self.em_iterations <= 0:
-            raise SpecError("em_iterations must be positive")
+            raise SpecError("em_iterations must be positive", field="em_iterations")
         if self.em_tolerance < 0:
-            raise SpecError("em_tolerance must be non-negative")
+            raise SpecError("em_tolerance must be non-negative", field="em_tolerance")
         if self.burn_in < 0:
-            raise SpecError("burn_in must be non-negative")
+            raise SpecError("burn_in must be non-negative", field="burn_in")
         if self.num_samples <= 0:
-            raise SpecError("num_samples must be positive")
+            raise SpecError("num_samples must be positive", field="num_samples")
         object.__setattr__(
             self, "mstep", _build_config(MStepConfig, self.mstep, "mstep")
         )
@@ -236,10 +243,14 @@ class GuidanceSpec:
         if self.strategy not in STRATEGIES:
             raise SpecError(
                 f"unknown strategy {self.strategy!r}; "
-                f"known: {sorted(STRATEGIES)}"
+                f"known: {sorted(STRATEGIES)}",
+                field="strategy",
             )
         if self.candidate_limit is not None and self.candidate_limit < 1:
-            raise SpecError("candidate_limit must be at least 1 (or None)")
+            raise SpecError(
+                "candidate_limit must be at least 1 (or None)",
+                field="candidate_limit",
+            )
         object.__setattr__(
             self, "gain", _build_config(GainConfig, self.gain, "gain")
         )
@@ -274,10 +285,14 @@ class GoalSpec:
     def __post_init__(self) -> None:
         if self.kind not in GOAL_KINDS:
             raise SpecError(
-                f"goal kind must be one of {GOAL_KINDS}, got {self.kind!r}"
+                f"goal kind must be one of {GOAL_KINDS}, got {self.kind!r}",
+                field="kind",
             )
         if not 0.0 <= self.threshold <= 1.0:
-            raise SpecError(f"threshold must lie in [0, 1], got {self.threshold}")
+            raise SpecError(
+                f"threshold must lie in [0, 1], got {self.threshold}",
+                field="threshold",
+            )
 
     def build(self):
         """Instantiate the :class:`~repro.validation.goals.ValidationGoal`."""
@@ -321,7 +336,8 @@ class TerminationSpec:
         if self.kind not in TERMINATION_KINDS:
             raise SpecError(
                 f"termination kind must be one of {TERMINATION_KINDS}, "
-                f"got {self.kind!r}"
+                f"got {self.kind!r}",
+                field="kind",
             )
         object.__setattr__(self, "params", dict(self.params))
         try:
@@ -331,7 +347,8 @@ class TerminationSpec:
         except Exception as exc:
             raise SpecError(
                 f"invalid parameters for termination criterion "
-                f"{self.kind!r}: {exc}"
+                f"{self.kind!r}: {exc}",
+                field="params",
             ) from exc
 
     def build(self):
@@ -388,20 +405,21 @@ class EffortSpec:
             self, "goal", _build_config(GoalSpec, self.goal, "goal")
         )
         if self.budget is not None and self.budget < 1:
-            raise SpecError("budget must be at least 1 (or None)")
+            raise SpecError("budget must be at least 1 (or None)", field="budget")
         if self.batch_size < 1:
-            raise SpecError("batch_size must be at least 1")
+            raise SpecError("batch_size must be at least 1", field="batch_size")
         if self.max_skip_attempts < 0:
-            raise SpecError("max_skip_attempts must be non-negative")
+            raise SpecError(
+                "max_skip_attempts must be non-negative", field="max_skip_attempts"
+            )
         if self.confirmation_interval is not None and self.confirmation_interval < 1:
-            raise SpecError("confirmation_interval must be at least 1 (or None)")
-        criteria = tuple(
-            entry
-            if isinstance(entry, TerminationSpec)
-            else TerminationSpec.from_dict(entry)
-            for entry in self.termination
+            raise SpecError(
+                "confirmation_interval must be at least 1 (or None)",
+                field="confirmation_interval",
+            )
+        object.__setattr__(
+            self, "termination", _build_termination(self.termination)
         )
-        object.__setattr__(self, "termination", criteria)
 
     def to_dict(self) -> dict:
         return {
@@ -419,14 +437,9 @@ class EffortSpec:
         _check_fields(cls, payload)
         data = dict(payload)
         if "goal" in data and isinstance(data["goal"], Mapping):
-            data["goal"] = GoalSpec.from_dict(data["goal"])
+            data["goal"] = _build_config(GoalSpec, data["goal"], "goal")
         if "termination" in data:
-            data["termination"] = tuple(
-                entry
-                if isinstance(entry, TerminationSpec)
-                else TerminationSpec.from_dict(entry)
-                for entry in data["termination"]
-            )
+            data["termination"] = _build_termination(data["termination"])
         return cls(**data)
 
 
@@ -455,18 +468,25 @@ class StreamSpec:
     def __post_init__(self) -> None:
         if not 0.5 < self.schedule_beta <= 1.0:
             raise SpecError(
-                f"schedule_beta must lie in (0.5, 1], got {self.schedule_beta}"
+                f"schedule_beta must lie in (0.5, 1], got {self.schedule_beta}",
+                field="schedule_beta",
             )
         if self.schedule_scale <= 0:
-            raise SpecError("schedule_scale must be positive")
+            raise SpecError("schedule_scale must be positive", field="schedule_scale")
         if self.meanfield_steps < 1:
-            raise SpecError("meanfield_steps must be at least 1")
+            raise SpecError("meanfield_steps must be at least 1", field="meanfield_steps")
         if not 0.0 <= self.prior <= 1.0:
-            raise SpecError(f"prior must lie in [0, 1], got {self.prior}")
+            raise SpecError(f"prior must lie in [0, 1], got {self.prior}", field="prior")
         if self.online_mstep_iterations < 1:
-            raise SpecError("online_mstep_iterations must be at least 1")
+            raise SpecError(
+                "online_mstep_iterations must be at least 1",
+                field="online_mstep_iterations",
+            )
         if self.validation_every is not None and self.validation_every < 1:
-            raise SpecError("validation_every must be at least 1 (or None)")
+            raise SpecError(
+                "validation_every must be at least 1 (or None)",
+                field="validation_every",
+            )
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -503,11 +523,12 @@ class SessionSpec:
     def __post_init__(self) -> None:
         if self.mode not in SESSION_MODES:
             raise SpecError(
-                f"mode must be one of {SESSION_MODES}, got {self.mode!r}"
+                f"mode must be one of {SESSION_MODES}, got {self.mode!r}",
+                field="mode",
             )
         if self.dataset is not None and not isinstance(self.dataset, DatasetSpec):
             object.__setattr__(
-                self, "dataset", DatasetSpec.from_dict(self.dataset)
+                self, "dataset", _build_spec(DatasetSpec, self.dataset, "dataset")
             )
         object.__setattr__(self, "user", _build_config(UserSpec, self.user, "user"))
         object.__setattr__(
@@ -556,7 +577,7 @@ class SessionSpec:
         for name, spec_cls in converters.items():
             value = data.get(name)
             if isinstance(value, Mapping):
-                data[name] = spec_cls.from_dict(value)
+                data[name] = _build_spec(spec_cls, value, name)
         return cls(**data)
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -576,11 +597,34 @@ class SessionSpec:
 
 
 def _build_spec(cls: Type[_S], payload: Any, what: str) -> _S:
-    """Coerce ``payload`` (spec instance or mapping) into a spec class."""
+    """Coerce ``payload`` (spec instance or mapping) into a spec class.
+
+    Validation failures inside the nested spec are re-raised with ``what``
+    prepended to their field path, so errors surfacing from
+    :meth:`SessionSpec.from_json` name the full dotted location
+    (``inference.engine``, ``effort.goal.kind``, …).
+    """
     if isinstance(payload, cls):
         return payload
     if payload is None:
         return cls()
     if not isinstance(payload, Mapping):
-        raise SpecError(f"{what} must be a {cls.__name__} or a mapping")
-    return cls.from_dict(payload)
+        raise SpecError(f"{what} must be a {cls.__name__} or a mapping", field=what)
+    try:
+        return cls.from_dict(payload)
+    except SpecError as exc:
+        raise exc.with_prefix(what) from None
+
+
+def _build_termination(entries) -> Tuple[TerminationSpec, ...]:
+    """Coerce a termination sequence, indexing errors per entry."""
+    criteria = []
+    for index, entry in enumerate(entries):
+        if isinstance(entry, TerminationSpec):
+            criteria.append(entry)
+            continue
+        try:
+            criteria.append(TerminationSpec.from_dict(entry))
+        except SpecError as exc:
+            raise exc.with_prefix(f"termination[{index}]") from None
+    return tuple(criteria)

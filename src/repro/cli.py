@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the common workflows:
+Four commands cover the common workflows:
 
 * ``experiment`` — run one of the paper's experiment drivers and print
   its table (``python -m repro experiment fig6 --runs 2``).
@@ -12,12 +12,18 @@ Three commands cover the common workflows:
   ``--checkpoint`` / ``--resume`` persist and continue a session.
 * ``generate`` — generate a corpus replica and write it to JSON
   (``python -m repro generate --dataset wiki --out wiki.json``).
+* ``serve`` — host the multi-session HTTP service
+  (``python -m repro serve --port 8080 --spool-dir spool/``); see
+  ``docs/SERVICE.md``.  SIGINT/SIGTERM shut it down cleanly, after
+  checkpointing every session to the spool directory.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
 from pathlib import Path
 from typing import List, Optional
 
@@ -116,6 +122,45 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--scale", type=float, default=0.1)
     generate.add_argument("--out", required=True, help="output JSON path")
 
+    serve = commands.add_parser(
+        "serve", help="host the multi-session HTTP service (docs/SERVICE.md)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="TCP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--spool-dir",
+        default=None,
+        metavar="DIR",
+        help="durability directory: sessions auto-checkpoint here and the "
+        "registry is restored from it on startup",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker pool size (parallelism across independent sessions)",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="auto-checkpoint a session after N mutating events "
+        "(0 disables periodic checkpoints; needs --spool-dir)",
+    )
+    serve.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="write the bound port here once listening (ephemeral-port "
+        "orchestration, e.g. CI)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every request"
+    )
+
     return parser
 
 
@@ -205,6 +250,52 @@ def run_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_serve(args: argparse.Namespace) -> int:
+    from repro.service import ReproServiceServer, ServiceConfig, SessionManager
+
+    manager = SessionManager(
+        ServiceConfig(
+            spool_dir=args.spool_dir,
+            workers=args.workers,
+            checkpoint_every=(
+                None if args.checkpoint_every == 0 else args.checkpoint_every
+            ),
+        )
+    )
+    restored = manager.restore()
+    if restored:
+        print(f"restored {len(restored)} session(s) from {args.spool_dir}: "
+              f"{', '.join(restored)}")
+    server = ReproServiceServer(
+        manager, host=args.host, port=args.port, verbose=args.verbose
+    )
+    if args.port_file is not None:
+        Path(args.port_file).write_text(str(server.server_port), encoding="utf-8")
+    print(f"serving on {server.url} "
+          f"(spool: {args.spool_dir or 'disabled'}, workers: {args.workers})",
+          flush=True)
+
+    # SIGINT/SIGTERM stop the accept loop; shutdown() must come from
+    # another thread than serve_forever's.  Handlers can only be installed
+    # on the main thread (tests drive serve_forever elsewhere).
+    def stop(signum, frame) -> None:
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGINT, stop)
+        signal.signal(signal.SIGTERM, stop)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+        manager.shutdown(checkpoint=True)
+    if args.spool_dir is not None:
+        print("shutdown complete (all sessions checkpointed)", flush=True)
+    else:
+        print("shutdown complete", flush=True)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -213,6 +304,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": run_experiment,
         "validate": run_validate,
         "generate": run_generate,
+        "serve": run_serve,
     }
     return handlers[args.command](args)
 

@@ -57,7 +57,29 @@ class DatasetError(ReproError):
 
 
 class SpecError(ReproError):
-    """A declarative session configuration (``repro.api`` spec) is invalid."""
+    """A declarative session configuration (``repro.api`` spec) is invalid.
+
+    Carries the dotted path of the failing field in :attr:`field` when it
+    is known (e.g. ``"inference.engine"`` or ``"effort.termination[0].kind"``)
+    so callers — the HTTP service in particular — can point users at the
+    exact offending spot of a nested spec document.
+    """
+
+    def __init__(self, message: str, field: str | None = None):
+        super().__init__(message)
+        self.field = field
+
+    def __str__(self) -> str:
+        message = self.args[0] if self.args else ""
+        if self.field:
+            return f"{self.field}: {message}"
+        return str(message)
+
+    def with_prefix(self, prefix: str) -> "SpecError":
+        """A copy of this error with ``prefix`` prepended to the field path."""
+        message = self.args[0] if self.args else ""
+        field = prefix if not self.field else f"{prefix}.{self.field}"
+        return SpecError(message, field=field)
 
 
 class SessionError(ReproError):
@@ -66,3 +88,11 @@ class SessionError(ReproError):
 
 class CheckpointError(SessionError):
     """A session checkpoint could not be written or restored."""
+
+
+class ServiceError(ReproError):
+    """The multi-session service layer (``repro.service``) failed a request."""
+
+
+class SessionNotFoundError(ServiceError):
+    """The service has no session registered under the requested id."""

@@ -1,0 +1,46 @@
+"""Multi-session service layer: a registry of fact-checking sessions
+behind an HTTP API, with checkpoint-backed durability.
+
+The second storey on top of the declarative session API (`repro.api`):
+
+* :class:`SessionManager` — named sessions keyed by id, per-session
+  locking, a worker pool for parallelism across sessions, and a spool-dir
+  durability policy (auto-checkpoint + restore-on-restart).
+* :class:`ReproServiceServer` — the stdlib HTTP front
+  (``ThreadingHTTPServer``); see :mod:`repro.service.http` for the
+  endpoint table and ``docs/SERVICE.md`` for the full reference.
+* :class:`ServiceClient` — a thin ``urllib`` client mirroring the REST
+  surface (used by ``examples/service_quickstart.py``).
+
+Quickstart (in one process; ``python -m repro serve`` runs it standalone)::
+
+    from repro.api import SessionSpec
+    from repro.service import (
+        ReproServiceServer, ServiceClient, ServiceConfig, SessionManager,
+    )
+
+    manager = SessionManager(ServiceConfig(spool_dir="spool/"))
+    server = ReproServiceServer(manager)
+    server.serve_in_background()
+
+    client = ServiceClient(server.url)
+    session = client.create_session(SessionSpec(
+        seed=7,
+        dataset={"name": "snopes", "seed": 7, "scale": 0.01},
+        effort={"goal": {"kind": "true_precision", "threshold": 0.9}},
+    ))
+    client.step(session["id"], run=True)
+    print(client.result(session["id"]).stop_reason)
+"""
+
+from repro.service.client import ServiceClient, ServiceRequestError
+from repro.service.http import ReproServiceServer
+from repro.service.manager import ServiceConfig, SessionManager
+
+__all__ = [
+    "ReproServiceServer",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceRequestError",
+    "SessionManager",
+]

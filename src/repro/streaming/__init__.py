@@ -2,12 +2,19 @@
 
 from repro.streaming.process import StreamingFactChecker, StreamUpdate
 from repro.streaming.schedule import RobbinsMonroSchedule
-from repro.streaming.stream import ClaimArrival, stream_from_database
+from repro.streaming.stream import (
+    ClaimArrival,
+    arrival_from_dict,
+    arrival_to_dict,
+    stream_from_database,
+)
 
 __all__ = [
     "ClaimArrival",
     "RobbinsMonroSchedule",
     "StreamUpdate",
     "StreamingFactChecker",
+    "arrival_from_dict",
+    "arrival_to_dict",
     "stream_from_database",
 ]

@@ -35,6 +35,33 @@ class ClaimArrival:
     sources: List[Source] = field(default_factory=list)
 
 
+def arrival_to_dict(arrival: ClaimArrival) -> dict:
+    """Render one arrival as a JSON-compatible entry (the service wire form).
+
+    Entities reuse the :mod:`repro.datasets.io` corpus format, so a corpus
+    file and a claim stream speak the same dialect.
+    """
+    from repro.datasets.io import claim_to_dict, document_to_dict, source_to_dict
+
+    return {
+        "claim": None if arrival.claim is None else claim_to_dict(arrival.claim),
+        "documents": [document_to_dict(entry) for entry in arrival.documents],
+        "sources": [source_to_dict(entry) for entry in arrival.sources],
+    }
+
+
+def arrival_from_dict(payload: dict) -> ClaimArrival:
+    """Inverse of :func:`arrival_to_dict`."""
+    from repro.datasets.io import claim_from_dict, document_from_dict, source_from_dict
+
+    claim = payload.get("claim")
+    return ClaimArrival(
+        claim=None if claim is None else claim_from_dict(claim),
+        documents=[document_from_dict(entry) for entry in payload.get("documents", [])],
+        sources=[source_from_dict(entry) for entry in payload.get("sources", [])],
+    )
+
+
 def stream_from_database(database: FactDatabase) -> Iterator[ClaimArrival]:
     """Replay a corpus as a claim-arrival stream in posting order.
 

@@ -410,6 +410,8 @@ class ValidationProcess:
         self,
         max_iterations: Optional[int] = None,
         on_iteration=None,
+        after_iteration=None,
+        cap_stop_reason: Optional[str] = "max_iterations",
     ) -> ValidationTrace:
         """Run Alg. 1 until goal, budget, exhaustion, or early termination.
 
@@ -419,6 +421,18 @@ class ValidationProcess:
             on_iteration: Optional callable invoked with every new
                 :class:`IterationRecord` — progress reporting hook used by
                 the session façade and the CLI.
+            after_iteration: Optional callable invoked with the record
+                *after* the termination criteria have consumed it (and only
+                when none fired).  This is the point at which the complete
+                mutable state — criteria included — reflects the iteration,
+                so it is where the session façade takes periodic
+                checkpoints: resuming from one replays the remaining run
+                bit-for-bit.
+            cap_stop_reason: What hitting ``max_iterations`` records as
+                the trace's stop reason.  Pass ``None`` to leave the trace
+                unfinished instead — for callers (the session service)
+                that drive the loop in bounded slices and must not stamp a
+                final reason on a merely-paused run.
         """
         trace = self.initialize()
         while True:
@@ -432,7 +446,8 @@ class ValidationProcess:
                 trace.stop_reason = "budget"
                 break
             if max_iterations is not None and trace.iterations >= max_iterations:
-                trace.stop_reason = "max_iterations"
+                if cap_stop_reason is not None:
+                    trace.stop_reason = cap_stop_reason
                 break
             record = self.step()
             if on_iteration is not None:
@@ -441,6 +456,8 @@ class ValidationProcess:
             if reason is not None:
                 trace.stop_reason = reason
                 break
+            if after_iteration is not None:
+                after_iteration(record)
         trace.final_grounding = self._grounding
         return trace
 

@@ -154,6 +154,78 @@ def build_database():
     return load_dataset("health", seed=5, scale=0.02)
 
 
+class TestAutoCheckpoint:
+    """Periodic auto-checkpointing inside ``FactCheckSession.run``."""
+
+    def test_batch_autocheckpoint_resumes_bit_for_bit(self, tmp_path):
+        golden = FactCheckSession(batch_spec("numpy")).run()
+
+        path = tmp_path / "auto.json.gz"
+        crashed = FactCheckSession(batch_spec("numpy"))
+        with pytest.raises(RuntimeError, match="simulated crash"):
+
+            def crash(record):
+                if record.iteration == 4:
+                    raise RuntimeError("simulated crash")
+
+            crashed.run(checkpoint_every=2, checkpoint_path=path, on_iteration=crash)
+
+        resumed_session = FactCheckSession.load(path)
+        # The last auto-checkpoint landed after iteration 2 (the crash at
+        # iteration 4 pre-empted the one due at 4).
+        assert resumed_session.trace.iterations == 2
+        resumed = resumed_session.run()
+        assert golden.stop_reason == resumed.stop_reason
+        assert_records_identical(golden.trace.records, resumed.trace.records)
+        assert np.array_equal(golden.weights.values, resumed.weights.values)
+
+    def test_streaming_autocheckpoint_counts_arrivals(self, tmp_path):
+        database = build_database()
+        arrivals = list(stream_from_database(database))
+        golden = FactCheckSession(streaming_spec("numpy")).run(arrivals=arrivals)
+
+        path = tmp_path / "stream-auto.json"
+        seen = [0]
+
+        def crash(update):
+            seen[0] += 1
+            if seen[0] == 7:
+                raise RuntimeError("simulated crash")
+
+        crashed = FactCheckSession(streaming_spec("numpy"))
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            crashed.run(
+                arrivals=arrivals,
+                checkpoint_every=3,
+                checkpoint_path=path,
+                on_iteration=crash,
+            )
+
+        resumed_session = FactCheckSession.load(path)
+        done = len(resumed_session._updates)  # arrivals checkpointed so far
+        assert done == 6
+        resumed = resumed_session.run(arrivals=arrivals[done:])
+        assert len(golden.stream_updates) == len(resumed.stream_updates)
+        for a, b in zip(golden.stream_updates, resumed.stream_updates):
+            assert np.array_equal(a.weights.values, b.weights.values)
+        assert golden.validated_claim_ids == resumed.validated_claim_ids
+        assert np.array_equal(golden.weights.values, resumed.weights.values)
+
+    def test_run_final_checkpoint_reflects_completion(self, tmp_path):
+        path = tmp_path / "final.json"
+        result = FactCheckSession(batch_spec("numpy")).run(
+            checkpoint_every=100, checkpoint_path=path
+        )
+        restored = FactCheckSession.load(path)
+        assert restored.trace.iterations == result.trace.iterations
+
+    def test_checkpoint_every_requires_path(self):
+        from repro.errors import SessionError
+
+        with pytest.raises(SessionError, match="checkpoint_path"):
+            FactCheckSession(batch_spec("numpy")).run(checkpoint_every=2)
+
+
 class TestCheckpointFormat:
     def test_checkpoint_is_json_with_headers(self, tmp_path):
         session = FactCheckSession(
@@ -163,9 +235,12 @@ class TestCheckpointFormat:
         session.save(path)
         payload = json.loads(path.read_text())
         assert payload["format"] == "repro-session-checkpoint"
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["mode"] == "batch"
         assert "spec" in payload and "state" in payload
+        # An explicitly supplied corpus cannot be regenerated from the
+        # spec, so it stays embedded.
+        assert "database" in payload
 
     def test_load_rejects_foreign_json(self, tmp_path):
         path = tmp_path / "other.json"
@@ -190,3 +265,93 @@ class TestCheckpointFormat:
         assert resumed.status == "open"
         record = resumed.step()
         assert record.iteration == 2
+
+
+class TestCheckpointCompaction:
+    """gzip compression and corpus-elision for spec-described datasets."""
+
+    def test_gzip_checkpoint_roundtrips(self, tmp_path):
+        session = FactCheckSession(batch_spec("numpy")).open()
+        session.step()
+        plain = tmp_path / "ckpt.json"
+        packed = tmp_path / "ckpt.json.gz"
+        session.save(plain)
+        session.save(packed)
+        assert packed.read_bytes()[:2] == b"\x1f\x8b"
+        assert packed.stat().st_size < plain.stat().st_size
+        resumed = FactCheckSession.load(packed)
+        golden = FactCheckSession.load(plain)
+        assert_records_identical(
+            golden.trace.records, resumed.trace.records
+        )
+        assert golden.step().claim_ids == resumed.step().claim_ids
+
+    def test_dataset_sessions_omit_corpus_structure(self, tmp_path):
+        session = FactCheckSession(batch_spec("numpy")).open()
+        session.step()
+        path = tmp_path / "compact.json"
+        session.save(path)
+        payload = json.loads(path.read_text())
+        assert "database" not in payload
+        fingerprint = payload["database_fingerprint"]
+        assert fingerprint["num_claims"] == session.database.num_claims
+        resumed = FactCheckSession.load(path)
+        assert resumed.database.num_claims == session.database.num_claims
+        # A re-save of the regenerated session stays compact.
+        again = tmp_path / "again.json"
+        resumed.save(again)
+        assert "database" not in json.loads(again.read_text())
+
+    def test_compact_checkpoint_is_smaller_than_embedded(self, tmp_path):
+        spec = batch_spec("numpy")
+        compact_session = FactCheckSession(spec).open()
+        embedded_session = FactCheckSession(
+            spec, database=spec.dataset.load()
+        ).open()
+        compact = tmp_path / "compact.json"
+        embedded = tmp_path / "embedded.json"
+        compact_session.save(compact)
+        embedded_session.save(embedded)
+        assert compact.stat().st_size < embedded.stat().st_size / 2
+
+    def test_fingerprint_mismatch_is_rejected(self, tmp_path):
+        session = FactCheckSession(batch_spec("numpy")).open()
+        path = tmp_path / "compact.json"
+        session.save(path)
+        payload = json.loads(path.read_text())
+        payload["database_fingerprint"]["num_claims"] += 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="does not match"):
+            FactCheckSession.load(path)
+
+    def test_fingerprint_catches_same_shape_different_seed_corpus(self, tmp_path):
+        from repro.datasets import load_dataset
+
+        session = FactCheckSession(batch_spec("numpy")).open()
+        path = tmp_path / "compact.json"
+        session.save(path)
+        # Same profile and scale, different seed: counts and positional
+        # claim ids coincide, but the truth pattern differs — the content
+        # digest must reject the swap.
+        impostor = load_dataset("wiki", seed=43, scale=0.15)
+        assert impostor.num_claims == session.database.num_claims
+        with pytest.raises(CheckpointError, match="does not match"):
+            FactCheckSession.load(path, database=impostor)
+
+    def test_version_1_checkpoint_with_embedded_corpus_loads(self, tmp_path):
+        session = FactCheckSession(batch_spec("numpy")).open()
+        session.step()
+        path = tmp_path / "v2.json"
+        session.save(path)
+        payload = json.loads(path.read_text())
+        # Rewrite as a v1-style checkpoint: corpus embedded, no fingerprint.
+        from repro.datasets.io import database_to_dict
+
+        payload["version"] = 1
+        payload.pop("database_fingerprint", None)
+        payload["database"] = database_to_dict(session.database)
+        legacy = tmp_path / "v1.json"
+        legacy.write_text(json.dumps(payload))
+        resumed = FactCheckSession.load(legacy)
+        assert resumed.trace.iterations == 1
+        assert resumed.step().iteration == 2

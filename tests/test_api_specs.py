@@ -164,6 +164,52 @@ class TestValidation:
             SessionSpec.from_json("[1, 2]")
 
 
+class TestFieldPaths:
+    """Validation errors name the failing field as a dotted path."""
+
+    @pytest.mark.parametrize(
+        "payload, field",
+        [
+            ({"mode": "bad"}, "mode"),
+            ({"inference": {"engine": "cuda"}}, "inference.engine"),
+            ({"inference": {"estep_mode": "x"}}, "inference.estep_mode"),
+            ({"guidance": {"strategy": "oracle"}}, "guidance.strategy"),
+            ({"effort": {"goal": {"kind": "recall"}}}, "effort.goal.kind"),
+            ({"effort": {"budget": 0}}, "effort.budget"),
+            (
+                {"effort": {"termination": [{"kind": "urr"}, {"kind": "bad"}]}},
+                "effort.termination[1].kind",
+            ),
+            (
+                {"effort": {"termination": [{"kind": "urr", "params": {"x": 1}}]}},
+                "effort.termination[0].params",
+            ),
+            ({"stream": {"prior": 2}}, "stream.prior"),
+            ({"dataset": {"name": "wiki", "scale": -1}}, "dataset.scale"),
+            ({"user": {"error_probability": 7}}, "user.error_probability"),
+            ({"guidance": {"strategee": "hybrid"}}, "guidance.strategee"),
+            ({"bogus_top_level": 1}, "bogus_top_level"),
+        ],
+    )
+    def test_from_json_reports_field_path(self, payload, field):
+        import json
+
+        with pytest.raises(SpecError) as excinfo:
+            SessionSpec.from_json(json.dumps(payload))
+        assert excinfo.value.field == field
+        assert str(excinfo.value).startswith(f"{field}: ")
+
+    def test_direct_construction_reports_leaf_field(self):
+        with pytest.raises(SpecError) as excinfo:
+            InferenceSpec(engine="cuda")
+        assert excinfo.value.field == "engine"
+
+    def test_nested_construction_prefixes_path(self):
+        with pytest.raises(SpecError) as excinfo:
+            SessionSpec(inference={"engine": "cuda"})
+        assert excinfo.value.field == "inference.engine"
+
+
 class TestBuilders:
     def test_goal_spec_builds_each_kind(self):
         assert isinstance(GoalSpec(kind="none").build(), NoGoal)

@@ -37,6 +37,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["generate"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.spool_dir is None
+        assert args.workers == 4
+        assert args.checkpoint_every == 1
+
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--spool-dir", "spool", "--workers", "2",
+             "--checkpoint-every", "0", "--port-file", "p.txt"]
+        )
+        assert args.port == 0
+        assert args.spool_dir == "spool"
+        assert args.checkpoint_every == 0
+        assert args.port_file == "p.txt"
+
 
 class TestCommands:
     def test_generate_writes_loadable_json(self, tmp_path, capsys):
