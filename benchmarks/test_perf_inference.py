@@ -165,21 +165,32 @@ def _write_results(data) -> None:
 
 
 def _record_baseline(data) -> None:
-    payload = {
-        "description": "Recorded numpy-vs-reference speedups of the "
-                       "inference hot path; regression tests assert the "
-                       "current speedup stays above baseline_fraction of "
-                       "these and above the hard floor.",
-        "dataset": "wiki",
-        "scale": SCALE,
-        "dataset_seed": DATASET_SEED,
-        "sweep_speedup": round(data["sweep"]["speedup"], 2),
-        "em_speedup": round(data["em"]["speedup"], 2),
-        "combined_speedup": round(data["combined_speedup"], 2),
-        "baseline_fraction": BASELINE_FRACTION,
-        "re_record": "PERF_RECORD=1 PYTHONPATH=src python -m pytest "
-                     "benchmarks/test_perf_inference.py",
-    }
+    # Merge into the shared baseline file: the streaming benchmark keeps
+    # its ``stream_*`` keys there too, and re-recording one benchmark
+    # must not drop the other's record.
+    payload = (
+        json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+        if BASELINE_PATH.exists()
+        else {}
+    )
+    payload.update(
+        {
+            "description": "Recorded speedups of the inference and "
+                           "streaming hot paths; regression tests assert "
+                           "the current speedup stays above "
+                           "baseline_fraction of these and above the "
+                           "hard floor.",
+            "dataset": "wiki",
+            "scale": SCALE,
+            "dataset_seed": DATASET_SEED,
+            "sweep_speedup": round(data["sweep"]["speedup"], 2),
+            "em_speedup": round(data["em"]["speedup"], 2),
+            "combined_speedup": round(data["combined_speedup"], 2),
+            "baseline_fraction": BASELINE_FRACTION,
+            "re_record": "PERF_RECORD=1 PYTHONPATH=src python -m pytest "
+                         "benchmarks/test_perf_inference.py",
+        }
+    )
     BASELINE_PATH.write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8"
     )

@@ -37,6 +37,7 @@ from repro.api.specs import (
     GuidanceSpec,
     InferenceSpec,
     SessionSpec,
+    StreamSourceSpec,
     StreamSpec,
     TerminationSpec,
     UserSpec,
@@ -55,6 +56,7 @@ __all__ = [
     "SESSION_MODES",
     "SessionResult",
     "SessionSpec",
+    "StreamSourceSpec",
     "StreamSpec",
     "TERMINATION_KINDS",
     "TerminationSpec",

@@ -135,6 +135,8 @@ def build_checker(spec: SessionSpec, seed: RandomState = None):
             initial_bias=inference.initial_bias,
             prior=stream.prior,
             engine=inference.engine,
+            incremental=stream.incremental,
+            allow_pending_labels=stream.allow_pending_labels,
             seed=seed,
         )
 

@@ -44,11 +44,13 @@ from repro.streaming.process import StreamUpdate
 CHECKPOINT_FORMAT = "repro-session-checkpoint"
 
 #: Version written into every checkpoint; bumped on breaking changes.
-CHECKPOINT_VERSION = 2
+CHECKPOINT_VERSION = 3
 
 #: Versions :func:`read_checkpoint` accepts (v1 embedded the corpus
-#: unconditionally; v2 may replace it with a dataset fingerprint).
-SUPPORTED_CHECKPOINT_VERSIONS = (1, 2)
+#: unconditionally; v2 may replace it with a dataset fingerprint; v3 may
+#: additionally replace a streaming session's entity lists with a stream
+#: fingerprint plus replay position).
+SUPPORTED_CHECKPOINT_VERSIONS = (1, 2, 3)
 
 #: gzip magic bytes — how compressed checkpoints are detected on read.
 _GZIP_MAGIC = b"\x1f\x8b"
@@ -59,6 +61,8 @@ def stream_update_to_dict(update: StreamUpdate) -> dict:
     return {
         "arrival_index": update.arrival_index,
         "elapsed_seconds": update.elapsed_seconds,
+        "ingest_seconds": update.ingest_seconds,
+        "update_seconds": update.update_seconds,
         "step_size": update.step_size,
         "weights": update.weights.values.tolist(),
         "num_claims": update.num_claims,
@@ -68,10 +72,16 @@ def stream_update_to_dict(update: StreamUpdate) -> dict:
 
 
 def stream_update_from_dict(entry: dict) -> StreamUpdate:
-    """Inverse of :func:`stream_update_to_dict`."""
+    """Inverse of :func:`stream_update_to_dict`.
+
+    Pre-v3 checkpoints carry no phase split; their phase fields default
+    to zero while ``elapsed_seconds`` keeps the recorded total.
+    """
     return StreamUpdate(
         arrival_index=int(entry["arrival_index"]),
         elapsed_seconds=float(entry["elapsed_seconds"]),
+        ingest_seconds=float(entry.get("ingest_seconds", 0.0)),
+        update_seconds=float(entry.get("update_seconds", 0.0)),
         step_size=float(entry["step_size"]),
         weights=CrfWeights(np.asarray(entry["weights"], dtype=float)),
         num_claims=int(entry["num_claims"]),
@@ -171,6 +181,48 @@ def verify_fingerprint(database, fingerprint: dict, path) -> None:
             f"corpus regenerated from the spec does not match the corpus "
             f"checkpointed at {path}: expected {fingerprint}, got {actual} "
             f"(was the dataset file or generator changed?)"
+        )
+
+
+def stream_fingerprint(checker) -> dict:
+    """Structural fingerprint of the entities a checker has ingested.
+
+    Version-3 checkpoints of streaming sessions driven by a replayable
+    :class:`~repro.api.specs.StreamSourceSpec` store this fingerprint and
+    the replay position instead of embedding every streamed entity.
+    Loading replays the stream from the spec and verifies the fingerprint,
+    mirroring the batch-mode :func:`database_fingerprint` compaction.
+    """
+    digest = hashlib.sha256()
+    for source in checker._sources:
+        digest.update(source.source_id.encode("utf-8"))
+        digest.update(b"\x1e")
+    digest.update(b"\x1d")
+    for document in checker._documents:
+        digest.update(document.document_id.encode("utf-8"))
+        digest.update(b"\x1e")
+    digest.update(b"\x1d")
+    for claim in checker._claims:
+        digest.update(claim.claim_id.encode("utf-8"))
+        digest.update(b"\x1f")
+        digest.update(str(claim.truth).encode("utf-8"))
+        digest.update(b"\x1e")
+    return {
+        "num_claims": len(checker._claims),
+        "num_documents": len(checker._documents),
+        "num_sources": len(checker._sources),
+        "entities_digest": digest.hexdigest()[:16],
+    }
+
+
+def verify_stream_fingerprint(checker, fingerprint: dict, path) -> None:
+    """Raise :class:`CheckpointError` when a replayed stream mismatches."""
+    actual = stream_fingerprint(checker)
+    if actual != fingerprint:
+        raise CheckpointError(
+            f"stream replayed from the spec does not match the stream "
+            f"checkpointed at {path}: expected {fingerprint}, got {actual} "
+            f"(was the stream source or its dataset changed?)"
         )
 
 

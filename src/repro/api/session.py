@@ -25,6 +25,7 @@ modes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Iterable, List, Optional, Union
 
 import numpy as np
@@ -135,6 +136,11 @@ class FactCheckSession:
         self._records: List[IterationRecord] = []
         self._validated: List[str] = []
         self._since_validation = 0
+        # Whether any arrival came from outside the declared stream
+        # source; such sessions cannot use compact (replayable)
+        # checkpoints because the source cannot regenerate the entities.
+        self._external_arrivals = False
+        self._replaying_source = False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -249,7 +255,35 @@ class FactCheckSession:
             )
             self._checker = build_checker(spec, seed=derive_rng(root, 1))
             if resume is not None:
-                self._checker.load_state_dict(resume["checker"])
+                if "stream_position" in resume:
+                    # Compact checkpoint: regenerate the entity sets by
+                    # replaying the declared source, then overlay the
+                    # saved mutable state.
+                    source = spec.stream.source
+                    if source is None:
+                        raise CheckpointError(
+                            "checkpoint stores a stream position but the "
+                            "spec declares no stream source; the streamed "
+                            "entities cannot be regenerated"
+                        )
+                    position = int(resume["stream_position"])
+                    replayed = self._checker.replay_structure(
+                        islice(source.arrivals(), position)
+                    )
+                    if replayed != position:
+                        raise CheckpointError(
+                            f"stream source yielded only {replayed} of the "
+                            f"{position} arrivals recorded in the checkpoint "
+                            f"(was the source's dataset changed?)"
+                        )
+                    self._checker.load_mutable_state(resume["checker"])
+                else:
+                    self._checker.load_state_dict(resume["checker"])
+                    if spec.stream.source is not None:
+                        # Entities were embedded despite a declared
+                        # source: arrivals came from outside it, so the
+                        # resumed session must not trust the position.
+                        self._external_arrivals = True
                 set_rng_state(self._rng, resume["session_rng"])
                 if resume.get("user") is not None and hasattr(
                     self._user, "load_state_dict"
@@ -288,6 +322,8 @@ class FactCheckSession:
         """Ingest one claim arrival with online EM (Alg. 2; streaming)."""
         self._require_open()
         self._require_mode("streaming", "observe")
+        if not self._replaying_source:
+            self._external_arrivals = True
         update = self._checker.observe(arrival)
         self._updates.append(update)
         self._since_validation += 1
@@ -377,6 +413,61 @@ class FactCheckSession:
                 after_arrival(update)
         return updates
 
+    def ingest_from_source(
+        self,
+        count: Optional[int] = None,
+        on_update=None,
+        after_arrival=None,
+    ) -> List[StreamUpdate]:
+        """Observe the next arrivals of the spec's declared stream source.
+
+        The session tracks its position on the replayable stream declared
+        by ``spec.stream.source`` (a
+        :class:`~repro.api.specs.StreamSourceSpec`) and resumes from
+        wherever the previous call — or a restored checkpoint — left off.
+        Sessions driven exclusively through this method checkpoint in the
+        compact form: :meth:`save` stores the stream fingerprint and
+        position instead of embedding every streamed entity.
+
+        Args:
+            count: How many arrivals to observe; ``None`` consumes the
+                stream to its end.
+            on_update: As in :meth:`ingest`.
+            after_arrival: As in :meth:`ingest`.
+
+        Raises:
+            SessionError: When the spec declares no stream source, when
+                ``count`` is not positive, or when the session already
+                observed arrivals from outside the source (the stream
+                position would no longer describe the session's state).
+        """
+        self._require_open()
+        self._require_mode("streaming", "ingest_from_source")
+        source = self._spec.stream.source
+        if source is None:
+            raise SessionError(
+                "ingest_from_source needs spec.stream.source (a "
+                "StreamSourceSpec declaring the replayable stream)"
+            )
+        if count is not None and count < 1:
+            raise SessionError("ingest_from_source count must be at least 1")
+        if self._external_arrivals:
+            raise SessionError(
+                "this session observed arrivals outside its declared "
+                "stream source; the stream position is meaningless — "
+                "keep driving it with observe()/ingest()"
+            )
+        skip = self._checker.arrivals
+        stop = None if count is None else skip + count
+        arrivals = islice(source.arrivals(), skip, stop)
+        self._replaying_source = True
+        try:
+            return self.ingest(
+                arrivals, on_update=on_update, after_arrival=after_arrival
+            )
+        finally:
+            self._replaying_source = False
+
     def record_label(self, claim: Union[str, int], value: int) -> None:
         """Register external user input for a claim (id or index)."""
         self._require_open()
@@ -409,7 +500,10 @@ class FactCheckSession:
         burst after every ``spec.stream.validation_every`` arrivals.
 
         Args:
-            arrivals: The claim stream (required in streaming mode).
+            arrivals: The claim stream.  Streaming sessions whose spec
+                declares a ``stream.source`` may omit it — the remaining
+                arrivals are then replayed from the source; otherwise it
+                is required in streaming mode.
             max_iterations: Batch-mode cap on total trace iterations.
             on_iteration: Callable invoked with every
                 :class:`IterationRecord` (batch) or :class:`StreamUpdate`
@@ -448,8 +542,11 @@ class FactCheckSession:
                 after_iteration=after_iteration,
             )
         else:
-            if arrivals is None:
-                raise SessionError("streaming sessions need an arrival iterable")
+            if arrivals is None and self._spec.stream.source is None:
+                raise SessionError(
+                    "streaming sessions need an arrival iterable (or a "
+                    "spec.stream.source to replay)"
+                )
             after_arrival = None
             if checkpoint_every is not None:
                 observed = [0]
@@ -459,9 +556,14 @@ class FactCheckSession:
                     if observed[0] % checkpoint_every == 0:
                         self.save(checkpoint_path)
 
-            self.ingest(
-                arrivals, on_update=on_iteration, after_arrival=after_arrival
-            )
+            if arrivals is None:
+                self.ingest_from_source(
+                    on_update=on_iteration, after_arrival=after_arrival
+                )
+            else:
+                self.ingest(
+                    arrivals, on_update=on_iteration, after_arrival=after_arrival
+                )
         if checkpoint_every is not None:
             self.save(checkpoint_path)
         return self.close()
@@ -605,6 +707,10 @@ class FactCheckSession:
         ``spec.dataset`` store only a structural fingerprint instead of
         re-embedding the corpus — :meth:`load` regenerates it from the spec
         (corpus generation is deterministic) and verifies the fingerprint.
+        Streaming sessions driven exclusively from ``spec.stream.source``
+        compact the same way: the checkpoint stores the stream position
+        and a fingerprint, and :meth:`load` replays the source's first
+        ``stream_position`` arrivals instead of embedding every entity.
 
         Args:
             path: Destination file; a ``.gz`` suffix (e.g. ``.json.gz``)
@@ -638,8 +744,25 @@ class FactCheckSession:
                 "validated": list(self._validated),
             }
         else:
+            if (
+                self._spec.stream.source is not None
+                and not self._external_arrivals
+            ):
+                # Compact form: every entity came from the declared
+                # replayable source, so store only the checker's mutable
+                # state plus the stream position and a fingerprint — load
+                # replays the first `stream_position` arrivals and
+                # verifies the fingerprint.
+                payload["stream_fingerprint"] = ckpt.stream_fingerprint(
+                    self._checker
+                )
+                checker_state = self._checker.mutable_state_dict()
+                stream_position = self._checker.arrivals
+            else:
+                checker_state = self._checker.state_dict()
+                stream_position = None
             payload["state"] = {
-                "checker": self._checker.state_dict(),
+                "checker": checker_state,
                 "session_rng": rng_state(self._rng),
                 "user": (
                     self._user.state_dict()
@@ -653,6 +776,8 @@ class FactCheckSession:
                 "validated": list(self._validated),
                 "since_validation": self._since_validation,
             }
+            if stream_position is not None:
+                payload["state"]["stream_position"] = stream_position
         ckpt.write_checkpoint(path, payload, compress=compress)
 
     @classmethod
@@ -721,6 +846,11 @@ class FactCheckSession:
         else:
             session = cls(spec, user=user)
             session._build(resume=payload["state"])
+            fingerprint = payload.get("stream_fingerprint")
+            if fingerprint is not None:
+                ckpt.verify_stream_fingerprint(
+                    session._checker, fingerprint, path
+                )
         session._status = "open"
         return session
 

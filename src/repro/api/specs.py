@@ -444,6 +444,59 @@ class EffortSpec:
 
 
 @dataclass(frozen=True)
+class StreamSourceSpec:
+    """Replayable provenance of a claim stream.
+
+    Declares *where the arrivals come from* so they need not be embedded
+    anywhere: a session whose arrivals all came from its declared source
+    checkpoints as a stream fingerprint plus position (compact streaming
+    checkpoints, format version 3), and resuming replays the source up to
+    that position instead of deserialising every entity.
+
+    Attributes:
+        dataset: Corpus provenance; the stream replays this corpus via
+            :func:`repro.streaming.stream.stream_from_database`.
+        order: Arrival-order policy.  Only ``"posting"`` (document index
+            order, the §8.8 protocol) is defined.
+    """
+
+    dataset: Optional[DatasetSpec] = None
+    order: str = "posting"
+
+    def __post_init__(self) -> None:
+        if self.dataset is None:
+            raise SpecError(
+                "StreamSourceSpec needs a 'dataset' describing the corpus "
+                "the stream replays",
+                field="dataset",
+            )
+        if not isinstance(self.dataset, DatasetSpec):
+            object.__setattr__(
+                self, "dataset", _build_spec(DatasetSpec, self.dataset, "dataset")
+            )
+        if self.order != "posting":
+            raise SpecError(
+                f"unknown stream order {self.order!r}; only 'posting' is "
+                f"defined",
+                field="order",
+            )
+
+    def arrivals(self):
+        """Replay the declared corpus as a fresh arrival iterator."""
+        from repro.streaming.stream import stream_from_database
+
+        return stream_from_database(self.dataset.load())
+
+    def to_dict(self) -> dict:
+        return {"dataset": self.dataset.to_dict(), "order": self.order}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "StreamSourceSpec":
+        _check_fields(cls, payload)
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
 class StreamSpec:
     """Online-EM settings for streaming sessions (§7, Alg. 2).
 
@@ -456,6 +509,15 @@ class StreamSpec:
         validation_every: Interleave a validation burst (Alg. 1 on the
             current snapshot) after this many arrivals, validating the same
             number of claims; ``None`` disables interleaving in ``run``.
+        source: Replayable stream provenance.  When set, ``run()`` and
+            ``ingest_from_source()`` can drive the session without an
+            explicit arrival iterable, and checkpoints store a compact
+            fingerprint + position instead of embedding the entities.
+        incremental: Grow the snapshot model in place per arrival
+            (default) instead of rebuilding it; results are bit-for-bit
+            identical either way.
+        allow_pending_labels: Park labels recorded for claims that have
+            not arrived yet instead of rejecting them.
     """
 
     schedule_beta: float = 0.7
@@ -464,8 +526,17 @@ class StreamSpec:
     prior: float = 0.5
     online_mstep_iterations: int = 5
     validation_every: Optional[int] = None
+    source: Optional[StreamSourceSpec] = None
+    incremental: bool = True
+    allow_pending_labels: bool = False
 
     def __post_init__(self) -> None:
+        if self.source is not None and not isinstance(
+            self.source, StreamSourceSpec
+        ):
+            object.__setattr__(
+                self, "source", _build_spec(StreamSourceSpec, self.source, "source")
+            )
         if not 0.5 < self.schedule_beta <= 1.0:
             raise SpecError(
                 f"schedule_beta must lie in (0.5, 1], got {self.schedule_beta}",

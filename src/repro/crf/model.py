@@ -118,6 +118,23 @@ class CrfModel:
         counts = np.bincount(self._pair_claim, minlength=database.num_claims)
         self._pair_ptr = np.concatenate(([0], np.cumsum(counts)))
 
+    def grow(self, delta) -> None:
+        """Refresh the cached structure after :meth:`FactDatabase.extend`.
+
+        The featurizer patches its matrices row-wise; the (claim, source)
+        pair table and the local fields are cheap integer/matvec
+        derivations of the (already exact) columnar arrays, so they are
+        re-derived wholesale — the results are bit-for-bit identical to a
+        fresh model over the grown database.  Engines cached on this model
+        via :func:`repro.inference.engine.create_engine` are refreshed in
+        place.
+        """
+        self._featurizer.grow(delta)
+        self._build_pairs()
+        self.set_weights(self._weights)
+        for engine in getattr(self, "_engine_cache", {}).values():
+            engine.refresh_structure()
+
     @property
     def database(self) -> FactDatabase:
         """The underlying fact database."""

@@ -26,8 +26,9 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.data.database import FactDatabase
+from repro.data.database import DatabaseDelta, FactDatabase
 from repro.errors import InferenceError
+from repro.utils.arrays import concat_ranges
 
 #: Supported claim-evidence aggregation modes.
 AGGREGATION_MODES = ("sum", "mean", "sqrt")
@@ -66,7 +67,11 @@ class CliqueFeaturizer:
         features[:, 1 : 1 + m_d] = database.document_features[clique_document]
         features[:, 1 + m_d :] = database.source_features[clique_source]
         # The stance sign multiplies the whole evidence term (Eq. 3).
-        self._signed_features = features * stance_signs[:, None]
+        # ``_signed_buffer`` over-allocates under streaming growth so the
+        # common append-only arrival avoids an O(cliques) matrix copy;
+        # ``_signed_features`` is always the exact-length view of it.
+        self._signed_buffer = features * stance_signs[:, None]
+        self._signed_features = self._signed_buffer
         self._clique_claim = clique_claim
         self._clique_source = clique_source
         self._stance_signs = stance_signs
@@ -78,6 +83,105 @@ class CliqueFeaturizer:
         self._claim_ptr = np.concatenate(([0], np.cumsum(counts)))
         self._claim_degree = counts.astype(float)
         self._design_matrix: Optional[np.ndarray] = None
+
+    def grow(self, delta: DatabaseDelta) -> None:
+        """Patch the cached matrices after :meth:`FactDatabase.extend`.
+
+        New signed-feature rows are inserted at the positions the grown
+        clique arrays assign them, the claim-CSR index is re-derived from
+        the (already exact) columnar arrays, and the cached design matrix
+        is patched for the touched claims only — each cache ends up
+        bit-for-bit identical to a from-scratch :meth:`_build`.
+        """
+        database = self._database
+        m_d = database.document_features.shape[1]
+        m_s = database.source_features.shape[1]
+        if 1 + m_d + m_s != self._feature_dim:
+            # Feature width was discovered by this growth step (the first
+            # arrivals carried no evidence): fall back to a full rebuild.
+            self._build()
+            return
+        if delta.num_new_cliques:
+            rows = np.empty((delta.num_new_cliques, self._feature_dim), dtype=float)
+            rows[:, 0] = 1.0
+            rows[:, 1 : 1 + m_d] = database.document_features[
+                delta.new_clique_document
+            ]
+            rows[:, 1 + m_d :] = database.source_features[delta.new_clique_source]
+            rows *= delta.new_clique_sign[:, None]
+            n_old = self._signed_features.shape[0]
+            n_new = n_old + delta.num_new_cliques
+            if np.all(delta.insert_at == n_old):
+                # Append-only growth (new documents carry the largest
+                # sort keys): amortised O(new rows) via the buffer.
+                if self._signed_buffer.shape[0] < n_new:
+                    capacity = max(n_new, 2 * self._signed_buffer.shape[0])
+                    buffer = np.empty((capacity, self._feature_dim), dtype=float)
+                    buffer[:n_old] = self._signed_features
+                    self._signed_buffer = buffer
+                self._signed_buffer[n_old:n_new] = rows
+            else:
+                # Mid-array insertion (a parked forward link
+                # materialised): pay the full copy, it is rare.
+                self._signed_buffer = np.insert(
+                    self._signed_features, delta.insert_at, rows, axis=0
+                )
+            self._signed_features = self._signed_buffer[:n_new]
+        clique_claim, _, clique_source, stance_signs = database.clique_arrays()
+        self._clique_claim = clique_claim
+        self._clique_source = clique_source
+        self._stance_signs = stance_signs
+        n_before = delta.num_cliques_before
+        if delta.num_new_cliques and np.all(delta.insert_at == n_before):
+            # Append-only: every new clique has a larger global index
+            # than all existing ones, so it lands at the END of its
+            # claim's CSR group — splice the order array instead of
+            # re-running the stable argsort.  Cliques sharing a splice
+            # position (same claim, a brand-new claim, or claims
+            # separated only by zero-clique claims) must enter in
+            # claim-then-index order, so sort the delta by claim first
+            # (stable keeps ascending global index within a claim);
+            # np.insert preserves that order at equal positions.
+            old_ptr = self._claim_ptr
+            by_claim = np.argsort(delta.new_clique_claim, kind="stable")
+            positions = old_ptr[
+                np.minimum(delta.new_clique_claim[by_claim] + 1, old_ptr.size - 1)
+            ]
+            self._clique_order = np.insert(
+                self._clique_order,
+                positions,
+                (n_before + by_claim).astype(self._clique_order.dtype),
+            )
+        elif delta.num_new_cliques:
+            self._clique_order = np.argsort(clique_claim, kind="stable")
+        counts = np.bincount(clique_claim, minlength=database.num_claims)
+        self._claim_ptr = np.concatenate(([0], np.cumsum(counts)))
+        self._claim_degree = counts.astype(float)
+        self._patch_design_matrix(delta)
+
+    def _patch_design_matrix(self, delta: DatabaseDelta) -> None:
+        if self._design_matrix is None:
+            return  # built lazily from the grown arrays on first use
+        num_claims = self._database.num_claims
+        matrix = self._design_matrix
+        if num_claims > matrix.shape[0]:
+            matrix = np.vstack(
+                [matrix, np.zeros((num_claims - matrix.shape[0], self._feature_dim))]
+            )
+        touched = delta.touched_claims
+        if touched.size:
+            starts = self._claim_ptr[touched]
+            counts = self._claim_ptr[touched + 1] - starts
+            gathered = self._clique_order[concat_ranges(starts, counts)]
+            segments = np.repeat(np.arange(touched.size, dtype=np.intp), counts)
+            sums = np.zeros((touched.size, self._feature_dim))
+            # np.add.at accumulates in index order; ``gathered`` walks each
+            # claim's cliques in ascending global order, the same order the
+            # full-matrix build visits them — keeping the patched rows
+            # bit-for-bit equal to a rebuild.
+            np.add.at(sums, segments, self._signed_features[gathered])
+            matrix[touched] = sums * self.aggregation_scale()[touched][:, None]
+        self._design_matrix = matrix
 
     # ------------------------------------------------------------------
 
@@ -151,16 +255,16 @@ class CliqueFeaturizer:
         with the feature weights.  Claims with no cliques get a zero row.
 
         The matrix depends only on the database structure, so it is built
-        once and cached — every EM round and streaming update reuses the
-        same ``X`` instead of re-aggregating the cliques.
+        once and cached — every EM round reuses the same ``X``, and
+        streaming growth patches only the touched rows via :meth:`grow`.
         """
         if self._design_matrix is None:
             sums = np.zeros((self._database.num_claims, self._feature_dim))
             np.add.at(sums, self._clique_claim, self._signed_features)
-            matrix = sums * self.aggregation_scale()[:, None]
-            matrix.flags.writeable = False
-            self._design_matrix = matrix
-        return self._design_matrix
+            self._design_matrix = sums * self.aggregation_scale()[:, None]
+        view = self._design_matrix.view()
+        view.flags.writeable = False
+        return view
 
     def local_fields(self, feature_weights: np.ndarray) -> np.ndarray:
         """Per-claim aggregated evidence ``z_c · w`` (the direct relation).

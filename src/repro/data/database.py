@@ -1,15 +1,27 @@
 """The probabilistic fact database ``Q = <S, D, C, P>`` (§2.1).
 
-:class:`FactDatabase` holds the immutable *structure* of the fact-checking
-setting — sources, documents, claims, and the (source, document, claim)
-cliques of the CRF (§3.1) — together with the mutable *state*: the
-credibility probability ``P(c)`` of every claim and the user labels received
-so far.  User labels partition the claims into the labelled set ``C^L`` and
-the unlabelled set ``C^U`` (§3.2).
+:class:`FactDatabase` holds the *structure* of the fact-checking setting —
+sources, documents, claims, and the (source, document, claim) cliques of the
+CRF (§3.1) — together with the mutable *state*: the credibility probability
+``P(c)`` of every claim and the user labels received so far.  User labels
+partition the claims into the labelled set ``C^L`` and the unlabelled set
+``C^U`` (§3.2).
 
 Structure is index-based internally (claims, documents and sources are dense
 integer indices) for numerical efficiency, while the public API accepts and
 returns string identifiers.
+
+Two construction modes exist:
+
+* strict (default): every claim link must reference a known claim, and the
+  structure is fixed after construction;
+* ``allow_pending_links=True``: links to not-yet-known claims are *parked*
+  instead of rejected, and :meth:`FactDatabase.extend` grows the database
+  in place as new entities arrive — the incremental backbone of the
+  streaming process (§7).  Parked links materialise as cliques the moment
+  their claim arrives, at exactly the position a from-scratch build would
+  have put them, so the columnar clique arrays of a grown database are
+  bit-for-bit identical to those of a freshly constructed one.
 """
 
 from __future__ import annotations
@@ -22,6 +34,11 @@ import numpy as np
 from repro.data.entities import Claim, Document, Source
 from repro.data.stance import Stance
 from repro.errors import DataModelError
+
+#: Cliques are kept sorted by ``document_index * _KEY_BASE + link_position``,
+#: the enumeration order of a from-scratch build.  2**32 bounds the number of
+#: claim links per document, far beyond anything a real corpus produces.
+_KEY_BASE = 2**32
 
 
 @dataclass(frozen=True)
@@ -40,17 +57,51 @@ class Clique:
     stance_sign: int
 
 
+@dataclass(frozen=True)
+class DatabaseDelta:
+    """Growth record returned by :meth:`FactDatabase.extend`.
+
+    Downstream caches (:class:`~repro.crf.potentials.CliqueFeaturizer`,
+    :class:`~repro.crf.model.CrfModel`, the inference engines) use it to
+    patch themselves instead of rebuilding.  ``insert_at`` holds the
+    *pre-insertion* positions of the new cliques (suitable for
+    :func:`numpy.insert`); ``new_positions`` their indices in the grown
+    arrays.  Both are sorted, matching the key order of the new cliques.
+    """
+
+    num_sources_before: int
+    num_documents_before: int
+    num_claims_before: int
+    num_cliques_before: int
+    insert_at: np.ndarray
+    new_positions: np.ndarray
+    new_clique_claim: np.ndarray
+    new_clique_document: np.ndarray
+    new_clique_source: np.ndarray
+    new_clique_sign: np.ndarray
+    touched_claims: np.ndarray
+
+    @property
+    def num_new_cliques(self) -> int:
+        return int(self.new_clique_claim.size)
+
+
 class FactDatabase:
     """Structure and probabilistic state of a fact-checking instance.
 
     Args:
         sources: All sources; feature vectors must share one dimensionality.
-        documents: All documents; each must reference a known source, and
-            every claim link must reference a known claim.
+        documents: All documents; each must reference a known source.
         claims: All claims.
         prior: Initial credibility probability assigned to every claim.
             The paper initialises with 0.5 following the maximum-entropy
             principle (§8.1).
+        allow_pending_links: When true, claim links referencing unknown
+            claims are parked instead of rejected, and the database may be
+            grown with :meth:`extend`.  A document with parked links is
+            exposed truncated (pending links removed) until the claims
+            arrive, mirroring what a from-scratch build over the known
+            claims would contain.
 
     Raises:
         DataModelError: On identifier collisions, dangling references, or
@@ -63,9 +114,11 @@ class FactDatabase:
         documents: Sequence[Document],
         claims: Sequence[Claim],
         prior: float = 0.5,
+        allow_pending_links: bool = False,
     ) -> None:
         if not 0.0 <= prior <= 1.0:
             raise DataModelError(f"prior must be in [0, 1], got {prior!r}")
+        self._allow_pending_links = bool(allow_pending_links)
         self._sources: Tuple[Source, ...] = tuple(sources)
         self._documents: Tuple[Document, ...] = tuple(documents)
         self._claims: Tuple[Claim, ...] = tuple(claims)
@@ -87,15 +140,21 @@ class FactDatabase:
             [d.features for d in self._documents], "document"
         )
 
-        self._cliques: List[Clique] = []
-        self._claim_cliques: List[List[int]] = [[] for _ in self._claims]
-        self._source_cliques: List[List[int]] = [[] for _ in self._sources]
-        self._document_cliques: List[List[int]] = [[] for _ in self._documents]
+        # claim_id -> [(document_index, link_position, stance_sign)]
+        self._pending_links: Dict[str, List[Tuple[int, int, int]]] = {}
+        # document_index -> untruncated original / number of parked links
+        self._full_documents: Dict[int, Document] = {}
+        self._doc_pending_count: Dict[int, int] = {}
         self._build_cliques()
 
-        self._claim_sources: List[np.ndarray] = []
-        self._source_claims: List[np.ndarray] = []
-        self._build_bipartite_adjacency()
+        # Derived structures, built on demand and dropped on extend().
+        self._cliques_cache: Optional[Tuple[Clique, ...]] = None
+        self._adjacency_cache: Optional[
+            Tuple[List[List[int]], List[List[int]], List[List[int]]]
+        ] = None
+        self._bipartite_cache: Optional[
+            Tuple[List[np.ndarray], List[np.ndarray]]
+        ] = None
 
         self._prior = float(prior)
         self._probabilities = np.full(len(self._claims), self._prior, dtype=float)
@@ -111,6 +170,8 @@ class FactDatabase:
         document_arr: List[int] = []
         source_arr: List[int] = []
         sign_arr: List[int] = []
+        key_arr: List[int] = []
+        exposed: Optional[List[Document]] = None
         for doc_idx, document in enumerate(self._documents):
             source_idx = self._source_index.get(document.source_id)
             if source_idx is None:
@@ -118,47 +179,325 @@ class FactDatabase:
                     f"document {document.document_id!r} references unknown "
                     f"source {document.source_id!r}"
                 )
-            for link in document.claim_links:
+            pending = 0
+            for link_pos, link in enumerate(document.claim_links):
                 claim_idx = self._claim_index.get(link.claim_id)
                 if claim_idx is None:
-                    raise DataModelError(
-                        f"document {document.document_id!r} references unknown "
-                        f"claim {link.claim_id!r}"
+                    if not self._allow_pending_links:
+                        raise DataModelError(
+                            f"document {document.document_id!r} references "
+                            f"unknown claim {link.claim_id!r}"
+                        )
+                    self._pending_links.setdefault(link.claim_id, []).append(
+                        (doc_idx, link_pos, link.stance.sign)
                     )
-                clique = Clique(
-                    claim_index=claim_idx,
-                    document_index=doc_idx,
-                    source_index=source_idx,
-                    stance_sign=link.stance.sign,
-                )
-                clique_idx = len(self._cliques)
-                self._cliques.append(clique)
-                self._claim_cliques[claim_idx].append(clique_idx)
-                self._source_cliques[source_idx].append(clique_idx)
-                self._document_cliques[doc_idx].append(clique_idx)
+                    pending += 1
+                    continue
                 claim_arr.append(claim_idx)
                 document_arr.append(doc_idx)
                 source_arr.append(source_idx)
                 sign_arr.append(link.stance.sign)
+                key_arr.append(doc_idx * _KEY_BASE + link_pos)
+            if pending:
+                self._full_documents[doc_idx] = document
+                self._doc_pending_count[doc_idx] = pending
+                if exposed is None:
+                    exposed = list(self._documents)
+                exposed[doc_idx] = self._truncate_document(document)
+        if exposed is not None:
+            self._documents = tuple(exposed)
         self._clique_claim_arr = np.asarray(claim_arr, dtype=np.intp)
         self._clique_document_arr = np.asarray(document_arr, dtype=np.intp)
         self._clique_source_arr = np.asarray(source_arr, dtype=np.intp)
         self._clique_sign_arr = np.asarray(sign_arr, dtype=float)
+        self._clique_key_arr = np.asarray(key_arr, dtype=np.int64)
+        # Capacity buffers behind the exposed arrays: append-only growth
+        # (the common streaming case) writes into spare tail capacity
+        # instead of copying every column per arrival.  The exposed
+        # ``_clique_*_arr`` attributes are always exact-length views.
+        self._clique_buffers = {
+            "claim": self._clique_claim_arr,
+            "document": self._clique_document_arr,
+            "source": self._clique_source_arr,
+            "sign": self._clique_sign_arr,
+            "key": self._clique_key_arr,
+        }
 
-    def _build_bipartite_adjacency(self) -> None:
-        claim_sources: List[set] = [set() for _ in self._claims]
-        source_claims: List[set] = [set() for _ in self._sources]
-        for clique in self._cliques:
-            claim_sources[clique.claim_index].add(clique.source_index)
-            source_claims[clique.source_index].add(clique.claim_index)
-        self._claim_sources = [
-            np.fromiter(sorted(members), dtype=np.intp, count=len(members))
-            for members in claim_sources
-        ]
-        self._source_claims = [
-            np.fromiter(sorted(members), dtype=np.intp, count=len(members))
-            for members in source_claims
-        ]
+    def _truncate_document(self, document: Document) -> Document:
+        known = tuple(
+            link
+            for link in document.claim_links
+            if link.claim_id in self._claim_index
+        )
+        if len(known) == len(document.claim_links):
+            return document
+        return Document(
+            document_id=document.document_id,
+            source_id=document.source_id,
+            features=document.features,
+            claim_links=known,
+            metadata=document.metadata,
+        )
+
+    def _invalidate_structure_caches(self) -> None:
+        self._cliques_cache = None
+        self._adjacency_cache = None
+        self._bipartite_cache = None
+
+    # ------------------------------------------------------------------
+    # Incremental growth (§7)
+    # ------------------------------------------------------------------
+
+    def extend(
+        self,
+        sources: Sequence[Source] = (),
+        documents: Sequence[Document] = (),
+        claims: Sequence[Claim] = (),
+    ) -> DatabaseDelta:
+        """Grow the database in place with new entities.
+
+        New cliques — links of the new documents plus parked links
+        unlocked by the new claims — are merged into the columnar clique
+        arrays at the positions a from-scratch build would give them, so
+        the arrays stay bit-for-bit identical to a rebuild over the grown
+        corpus.  New claims start at the database prior and unlabelled.
+
+        Returns:
+            A :class:`DatabaseDelta` describing the growth, for patching
+            downstream caches.
+
+        Raises:
+            DataModelError: On identifier collisions or dangling
+                references.  Validation happens before any mutation.
+        """
+        sources = list(sources)
+        documents = list(documents)
+        claims = list(claims)
+        self._validate_extension(sources, documents, claims)
+
+        num_sources_before = len(self._sources)
+        num_documents_before = len(self._documents)
+        num_claims_before = len(self._claims)
+        num_cliques_before = int(self._clique_claim_arr.size)
+
+        for offset, source in enumerate(sources):
+            self._source_index[source.source_id] = num_sources_before + offset
+        self._sources = self._sources + tuple(sources)
+        if sources:
+            self._source_features = _append_features(
+                self._source_features,
+                [s.features for s in sources],
+                "source",
+            )
+
+        for offset, claim in enumerate(claims):
+            self._claim_index[claim.claim_id] = num_claims_before + offset
+        self._claims = self._claims + tuple(claims)
+        if claims:
+            self._probabilities = np.concatenate(
+                [self._probabilities, np.full(len(claims), self._prior)]
+            )
+
+        new_claim: List[int] = []
+        new_document: List[int] = []
+        new_source: List[int] = []
+        new_sign: List[int] = []
+        new_key: List[int] = []
+
+        # Parked links unlocked by the new claims.
+        retruncate: List[int] = []
+        for claim in claims:
+            entries = self._pending_links.pop(claim.claim_id, None)
+            if entries is None:
+                continue
+            claim_idx = self._claim_index[claim.claim_id]
+            for doc_idx, link_pos, sign in entries:
+                new_claim.append(claim_idx)
+                new_document.append(doc_idx)
+                new_source.append(
+                    self._source_index[self._documents[doc_idx].source_id]
+                )
+                new_sign.append(sign)
+                new_key.append(doc_idx * _KEY_BASE + link_pos)
+                self._doc_pending_count[doc_idx] -= 1
+                retruncate.append(doc_idx)
+
+        if retruncate:
+            exposed = list(self._documents)
+            for doc_idx in set(retruncate):
+                full = self._full_documents[doc_idx]
+                if self._doc_pending_count[doc_idx] == 0:
+                    del self._full_documents[doc_idx]
+                    del self._doc_pending_count[doc_idx]
+                    exposed[doc_idx] = full
+                else:
+                    exposed[doc_idx] = self._truncate_document(full)
+            self._documents = tuple(exposed)
+
+        # Links of the new documents.
+        exposed_new: List[Document] = []
+        for offset, document in enumerate(documents):
+            doc_idx = num_documents_before + offset
+            self._document_index[document.document_id] = doc_idx
+            source_idx = self._source_index[document.source_id]
+            pending = 0
+            for link_pos, link in enumerate(document.claim_links):
+                claim_idx = self._claim_index.get(link.claim_id)
+                if claim_idx is None:
+                    self._pending_links.setdefault(link.claim_id, []).append(
+                        (doc_idx, link_pos, link.stance.sign)
+                    )
+                    pending += 1
+                    continue
+                new_claim.append(claim_idx)
+                new_document.append(doc_idx)
+                new_source.append(source_idx)
+                new_sign.append(link.stance.sign)
+                new_key.append(doc_idx * _KEY_BASE + link_pos)
+            if pending:
+                self._full_documents[doc_idx] = document
+                self._doc_pending_count[doc_idx] = pending
+                exposed_new.append(self._truncate_document(document))
+            else:
+                exposed_new.append(document)
+        self._documents = self._documents + tuple(exposed_new)
+        if documents:
+            self._document_features = _append_features(
+                self._document_features,
+                [d.features for d in documents],
+                "document",
+            )
+
+        keys = np.asarray(new_key, dtype=np.int64)
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        claim_sorted = np.asarray(new_claim, dtype=np.intp)[order]
+        document_sorted = np.asarray(new_document, dtype=np.intp)[order]
+        source_sorted = np.asarray(new_source, dtype=np.intp)[order]
+        sign_sorted = np.asarray(new_sign, dtype=float)[order]
+
+        insert_at = np.searchsorted(self._clique_key_arr, keys)
+        if keys.size:
+            new_columns = {
+                "claim": claim_sorted,
+                "document": document_sorted,
+                "source": source_sorted,
+                "sign": sign_sorted,
+                "key": keys,
+            }
+            n_new = num_cliques_before + keys.size
+            if np.all(insert_at == num_cliques_before):
+                # Append-only growth: new documents carry the largest
+                # sort keys, so the columns extend in place — amortised
+                # O(new cliques) via capacity-doubling buffers.
+                if self._clique_buffers["claim"].size < n_new:
+                    capacity = max(n_new, 2 * num_cliques_before)
+                    for name, buffer in self._clique_buffers.items():
+                        grown = np.empty(capacity, dtype=buffer.dtype)
+                        grown[:num_cliques_before] = buffer[:num_cliques_before]
+                        self._clique_buffers[name] = grown
+                for name, column in new_columns.items():
+                    self._clique_buffers[name][num_cliques_before:n_new] = column
+            else:
+                # Mid-array insertion (a parked forward link
+                # materialised): pay the full copy, it is rare.
+                current = {
+                    "claim": self._clique_claim_arr,
+                    "document": self._clique_document_arr,
+                    "source": self._clique_source_arr,
+                    "sign": self._clique_sign_arr,
+                    "key": self._clique_key_arr,
+                }
+                for name, column in new_columns.items():
+                    self._clique_buffers[name] = np.insert(
+                        current[name], insert_at, column
+                    )
+            self._clique_claim_arr = self._clique_buffers["claim"][:n_new]
+            self._clique_document_arr = self._clique_buffers["document"][:n_new]
+            self._clique_source_arr = self._clique_buffers["source"][:n_new]
+            self._clique_sign_arr = self._clique_buffers["sign"][:n_new]
+            self._clique_key_arr = self._clique_buffers["key"][:n_new]
+        new_positions = insert_at + np.arange(keys.size, dtype=insert_at.dtype)
+        if sources or documents or claims:
+            # New entities shift adjacency sizes even without new cliques.
+            self._invalidate_structure_caches()
+
+        return DatabaseDelta(
+            num_sources_before=num_sources_before,
+            num_documents_before=num_documents_before,
+            num_claims_before=num_claims_before,
+            num_cliques_before=num_cliques_before,
+            insert_at=insert_at,
+            new_positions=new_positions,
+            new_clique_claim=claim_sorted,
+            new_clique_document=document_sorted,
+            new_clique_source=source_sorted,
+            new_clique_sign=sign_sorted,
+            touched_claims=np.unique(claim_sorted),
+        )
+
+    def _validate_extension(
+        self,
+        sources: Sequence[Source],
+        documents: Sequence[Document],
+        claims: Sequence[Claim],
+    ) -> None:
+        """Reject invalid growth before mutating anything."""
+        seen_sources = set()
+        for source in sources:
+            if (
+                source.source_id in self._source_index
+                or source.source_id in seen_sources
+            ):
+                raise DataModelError(
+                    f"duplicate source identifier {source.source_id!r}"
+                )
+            seen_sources.add(source.source_id)
+        seen_claims = set()
+        for claim in claims:
+            if claim.claim_id in self._claim_index or claim.claim_id in seen_claims:
+                raise DataModelError(
+                    f"duplicate claim identifier {claim.claim_id!r}"
+                )
+            seen_claims.add(claim.claim_id)
+        seen_documents = set()
+        for document in documents:
+            if (
+                document.document_id in self._document_index
+                or document.document_id in seen_documents
+            ):
+                raise DataModelError(
+                    f"duplicate document identifier {document.document_id!r}"
+                )
+            seen_documents.add(document.document_id)
+            if (
+                document.source_id not in self._source_index
+                and document.source_id not in seen_sources
+            ):
+                raise DataModelError(
+                    f"document {document.document_id!r} references unknown "
+                    f"source {document.source_id!r}"
+                )
+            if not self._allow_pending_links:
+                for link in document.claim_links:
+                    if (
+                        link.claim_id not in self._claim_index
+                        and link.claim_id not in seen_claims
+                    ):
+                        raise DataModelError(
+                            f"document {document.document_id!r} references "
+                            f"unknown claim {link.claim_id!r}"
+                        )
+
+    @property
+    def num_pending_links(self) -> int:
+        """Parked claim links awaiting their claim's arrival."""
+        return sum(len(entries) for entries in self._pending_links.values())
+
+    @property
+    def pending_claim_ids(self) -> Tuple[str, ...]:
+        """Identifiers of not-yet-arrived claims referenced by documents."""
+        return tuple(sorted(self._pending_links))
 
     # ------------------------------------------------------------------
     # Sizes and entity access
@@ -182,7 +521,7 @@ class FactDatabase:
     @property
     def num_cliques(self) -> int:
         """|Π|, the number of (source, document, claim) relation factors."""
-        return len(self._cliques)
+        return int(self._clique_claim_arr.size)
 
     @property
     def sources(self) -> Tuple[Source, ...]:
@@ -191,7 +530,12 @@ class FactDatabase:
 
     @property
     def documents(self) -> Tuple[Document, ...]:
-        """All documents, in index order."""
+        """All documents, in index order.
+
+        Documents with parked links (``allow_pending_links=True``) are
+        exposed truncated to their known claims, exactly as a strict build
+        over the current claim set would contain them.
+        """
         return self._documents
 
     @property
@@ -202,7 +546,22 @@ class FactDatabase:
     @property
     def cliques(self) -> Tuple[Clique, ...]:
         """All relation factors π = {c, d, s} (§3.1)."""
-        return tuple(self._cliques)
+        if self._cliques_cache is None:
+            self._cliques_cache = tuple(
+                Clique(
+                    claim_index=int(c),
+                    document_index=int(d),
+                    source_index=int(s),
+                    stance_sign=int(g),
+                )
+                for c, d, s, g in zip(
+                    self._clique_claim_arr.tolist(),
+                    self._clique_document_arr.tolist(),
+                    self._clique_source_arr.tolist(),
+                    self._clique_sign_arr.tolist(),
+                )
+            )
+        return self._cliques_cache
 
     def clique_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Dense clique structure as parallel arrays.
@@ -259,24 +618,67 @@ class FactDatabase:
             raise DataModelError(f"unknown document {document_id!r}") from None
 
     # ------------------------------------------------------------------
-    # Graph adjacency
+    # Graph adjacency (derived lazily from the columnar arrays)
     # ------------------------------------------------------------------
+
+    def _adjacency(
+        self,
+    ) -> Tuple[List[List[int]], List[List[int]], List[List[int]]]:
+        if self._adjacency_cache is None:
+            claim_cliques: List[List[int]] = [[] for _ in self._claims]
+            source_cliques: List[List[int]] = [[] for _ in self._sources]
+            document_cliques: List[List[int]] = [[] for _ in self._documents]
+            for idx, (c, d, s) in enumerate(
+                zip(
+                    self._clique_claim_arr.tolist(),
+                    self._clique_document_arr.tolist(),
+                    self._clique_source_arr.tolist(),
+                )
+            ):
+                claim_cliques[c].append(idx)
+                source_cliques[s].append(idx)
+                document_cliques[d].append(idx)
+            self._adjacency_cache = (claim_cliques, source_cliques, document_cliques)
+        return self._adjacency_cache
+
+    def _bipartite_adjacency(
+        self,
+    ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        if self._bipartite_cache is None:
+            claim_sources: List[set] = [set() for _ in self._claims]
+            source_claims: List[set] = [set() for _ in self._sources]
+            for c, s in zip(
+                self._clique_claim_arr.tolist(), self._clique_source_arr.tolist()
+            ):
+                claim_sources[c].add(s)
+                source_claims[s].add(c)
+            self._bipartite_cache = (
+                [
+                    np.fromiter(sorted(members), dtype=np.intp, count=len(members))
+                    for members in claim_sources
+                ],
+                [
+                    np.fromiter(sorted(members), dtype=np.intp, count=len(members))
+                    for members in source_claims
+                ],
+            )
+        return self._bipartite_cache
 
     def cliques_of_claim(self, claim_index: int) -> List[int]:
         """Indices of cliques containing the claim."""
-        return list(self._claim_cliques[claim_index])
+        return list(self._adjacency()[0][claim_index])
 
     def cliques_of_source(self, source_index: int) -> List[int]:
         """Indices of cliques containing the source."""
-        return list(self._source_cliques[source_index])
+        return list(self._adjacency()[1][source_index])
 
     def sources_of_claim(self, claim_index: int) -> np.ndarray:
         """Indices of sources with at least one document about the claim."""
-        return self._claim_sources[claim_index]
+        return self._bipartite_adjacency()[0][claim_index]
 
     def claims_of_source(self, source_index: int) -> np.ndarray:
         """C_s: indices of claims connected to the source (Eq. 17)."""
-        return self._source_claims[source_index]
+        return self._bipartite_adjacency()[1][source_index]
 
     def connected_components(self) -> List[np.ndarray]:
         """Partition claims into CRF connected components (§5.1).
@@ -296,7 +698,7 @@ class FactDatabase:
                 parent[node], node = root, parent[node]
             return root
 
-        for claim_indices in self._source_claims:
+        for claim_indices in self._bipartite_adjacency()[1]:
             if claim_indices.size < 2:
                 continue
             first = find(int(claim_indices[0]))
@@ -491,3 +893,22 @@ def _stack_features(vectors: List[np.ndarray], kind: str) -> np.ndarray:
                 f"all {kind} feature vectors must share one dimensionality"
             )
     return np.vstack(vectors) if width else np.zeros((len(vectors), 0), dtype=float)
+
+
+def _append_features(
+    existing: np.ndarray, vectors: List[np.ndarray], kind: str
+) -> np.ndarray:
+    """Append feature rows to an existing matrix, validating the width.
+
+    A matrix with no rows carries no width information (``(0, 0)``), so the
+    first rows define the dimensionality — matching what a from-scratch
+    :func:`_stack_features` over the grown entity list would produce.
+    """
+    rows = _stack_features(vectors, kind)
+    if existing.shape[0] == 0:
+        return rows
+    if rows.shape[1] != existing.shape[1]:
+        raise DataModelError(
+            f"all {kind} feature vectors must share one dimensionality"
+        )
+    return np.vstack([existing, rows])

@@ -44,8 +44,10 @@ matrix — are computed once per model and reused across sweeps, EM rounds
 and validation iterations; pinning a user label or updating weights never
 invalidates them.  Engines are memoised per model, so throwaway samplers
 (hypothetical-gain evaluation, confirmation sweeps) reuse the caches too.
-Streaming arrivals change the structure and therefore build a fresh
-engine for the grown model.
+Streaming arrivals grow the model in place (:meth:`CrfModel.grow`), which
+calls :meth:`InferenceEngine.refresh_structure` on every memoised engine —
+the engine re-derives its gathered pair views from the grown model instead
+of being rebuilt per arrival.
 """
 
 from __future__ import annotations
@@ -103,6 +105,15 @@ class InferenceEngine:
     def model(self) -> CrfModel:
         """The model whose structure is cached."""
         return self._model
+
+    def refresh_structure(self) -> None:
+        """Re-derive cached structure after the model grows in place.
+
+        Called by :meth:`CrfModel.grow` on every memoised engine when a
+        streaming arrival extends the database.  The base implementation
+        is a no-op — backends that cache structure-derived arrays
+        override it.
+        """
 
     def sweep(
         self,
@@ -208,6 +219,16 @@ class NumpyEngine(InferenceEngine):
 
     def __init__(self, model: CrfModel) -> None:
         super().__init__(model)
+        self.refresh_structure()
+
+    def refresh_structure(self) -> None:
+        """(Re)build the claim-grouped pair views from the model.
+
+        Runs at construction and again whenever a streaming arrival grows
+        the model in place; the free-set gather cache is dropped because
+        claim indices shift meaning when the structure changes.
+        """
+        model = self._model
         # Claim-grouped view of the (claim, source) pair table: claim c's
         # pair rows are the grouped slice ptr[c]:ptr[c + 1].
         grouped = model.pair_order
@@ -482,8 +503,8 @@ def create_engine(
     """Engine for ``model`` per the configured backend, memoised per model.
 
     The memo lives on the model instance, so cached engines share the
-    model's lifetime (a global registry would pin every model ever built
-    — streaming creates one per arrival).
+    model's lifetime, and :meth:`CrfModel.grow` can refresh every engine
+    of a streaming model in place when an arrival extends the structure.
 
     Args:
         model: The CRF model whose structure is cached.

@@ -338,18 +338,47 @@ class SessionManager:
     # ------------------------------------------------------------------
 
     def step(self, session_id: str, request: Optional[StepRequest] = None) -> dict:
-        """Run validation iterations on a batch session.
+        """Advance a session server-side.
 
-        With ``request.run`` the whole Alg. 1 loop executes (the session
-        finishes and closes); otherwise up to ``request.count`` iterations
-        run, stopping early on goal/budget/exhaustion like
+        Batch: with ``request.run`` the whole Alg. 1 loop executes (the
+        session finishes and closes); otherwise up to ``request.count``
+        iterations run, stopping early on goal/budget/exhaustion like
         :meth:`FactCheckSession.run` would.
+
+        Streaming sessions whose spec declares a replayable
+        ``stream.source`` are driven the same way: ``request.run``
+        consumes the source to its end and closes the session, otherwise
+        the next ``request.count`` arrivals are replayed (with the usual
+        interleaved-validation schedule) — no claim payloads cross the
+        wire, and the session keeps checkpointing in the compact form.
         """
         managed = self._get(session_id)
         request = request if request is not None else StepRequest()
 
         def operation() -> dict:
             session = managed.session
+            if session.mode == "streaming":
+                from repro.api import checkpoint as ckpt
+
+                if request.run:
+                    result = session.run()
+                    self._record_events(managed, len(result.stream_updates))
+                    return {
+                        "id": managed.id,
+                        "updates": [],
+                        "completed": True,
+                        "result": result_to_dict(result),
+                    }
+                updates = session.ingest_from_source(count=request.count)
+                self._record_events(managed, len(updates))
+                return {
+                    "id": managed.id,
+                    "updates": [
+                        ckpt.stream_update_to_dict(u) for u in updates
+                    ],
+                    "completed": False,
+                    "summary": self._summary(managed),
+                }
             if request.run:
                 result = session.run(max_iterations=request.max_iterations)
                 self._record_events(managed, len(result.trace.records))

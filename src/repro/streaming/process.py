@@ -15,6 +15,16 @@ symbolically.  Credibility estimates and user labels are carried across
 arrivals by claim identifier, so earlier inference is reused, never
 recomputed from scratch.
 
+By default the snapshot database, model and engine are *grown in place*
+per arrival (``incremental=True``): :meth:`FactDatabase.extend` merges
+the new cliques into the columnar arrays, the featurizer patches its
+cached matrices, and the engine refreshes its gathered views — the
+literal reading of the paper's reuse discipline.  ``incremental=False``
+falls back to rebuilding the snapshot from scratch per arrival; the two
+paths produce bit-for-bit identical results (the rebuild is kept as the
+reference oracle in the test suite), the incremental one just does it
+without the O(corpus) per-arrival rebuild cost.
+
 The checker interoperates with the validation process (Alg. 1): the
 current parameters can be handed to / received from an
 :class:`~repro.inference.icrf.ICrf` instance (Alg. 2 lines 7 and 10), which
@@ -53,11 +63,18 @@ class StreamUpdate:
 
     Attributes:
         arrival_index: 1-based arrival counter t.
-        elapsed_seconds: Wall-clock update time (the §8.8 measurement).
+        elapsed_seconds: Total wall-clock time of the arrival (the §8.8
+            measurement): ``ingest_seconds + update_seconds``.
         step_size: γ_t used for the parameter interpolation.
         weights: Parameters W_t after the update.
         num_claims / num_documents / num_sources: Entity counts after the
             arrival.
+        ingest_seconds: Structure phase — entity bookkeeping plus growing
+            (or rebuilding) the snapshot database/model/engine (Alg. 2
+            lines 2–6).
+        update_seconds: Online-EM phase — the mean-field E-step, the
+            stochastic-approximation M-step, and marginal persistence
+            (Alg. 2 lines 8–9).
     """
 
     arrival_index: int
@@ -67,6 +84,8 @@ class StreamUpdate:
     num_claims: int
     num_documents: int
     num_sources: int
+    ingest_seconds: float = 0.0
+    update_seconds: float = 0.0
 
 
 class StreamingFactChecker:
@@ -82,9 +101,17 @@ class StreamingFactChecker:
         initial_bias: Cold-start bias weight of a fresh model.
         prior: Credibility prior of newly arrived claims.
         engine: Hot-path backend selection (see
-            :mod:`repro.inference.engine`); each arrival's grown model
-            gets an engine of this backend, and its cached matrices are
-            reused by the online E- and M-steps of that snapshot.
+            :mod:`repro.inference.engine`); the snapshot model keeps one
+            engine of this backend, refreshed in place as arrivals grow
+            the structure.
+        incremental: Grow the snapshot database/model/engine in place per
+            arrival (default).  ``False`` rebuilds the snapshot from
+            scratch per arrival — same results bit for bit, kept as the
+            reference oracle.
+        allow_pending_labels: Accept :meth:`record_label` for claims that
+            have not arrived yet, parking them until the claim does.
+            When ``False`` (default) labelling an unknown claim raises
+            :class:`~repro.errors.StreamingError`.
         seed: Seed or generator.
     """
 
@@ -98,6 +125,8 @@ class StreamingFactChecker:
         initial_bias: float = 1.0,
         prior: float = 0.5,
         engine: Union[None, str, EngineConfig] = None,
+        incremental: bool = True,
+        allow_pending_labels: bool = False,
         seed: RandomState = None,
     ) -> None:
         warn_legacy(
@@ -117,6 +146,8 @@ class StreamingFactChecker:
             else EngineConfig(backend=engine)
         )
         self._engine: Optional[InferenceEngine] = None
+        self._incremental = bool(incremental)
+        self._allow_pending_labels = bool(allow_pending_labels)
         self._rng = ensure_rng(seed)
 
         self._sources: List[Source] = []
@@ -127,6 +158,7 @@ class StreamingFactChecker:
         self._known_claims: set = set()
         self._probabilities: Dict[str, float] = {}
         self._labels: Dict[str, int] = {}
+        self._pending_labels: Dict[str, int] = {}
         self._weights: Optional[CrfWeights] = None
         self._t = 0
         self._database: Optional[FactDatabase] = None
@@ -155,15 +187,35 @@ class StreamingFactChecker:
             document_to_dict,
             source_to_dict,
         )
+
+        state = self.mutable_state_dict()
+        state.update(
+            {
+                "sources": [source_to_dict(source) for source in self._sources],
+                "documents": [
+                    document_to_dict(doc) for doc in self._documents
+                ],
+                "claims": [claim_to_dict(claim) for claim in self._claims],
+            }
+        )
+        return state
+
+    def mutable_state_dict(self) -> dict:
+        """Serialise the online-EM state *without* the streamed entities.
+
+        The compact streaming checkpoints of :mod:`repro.api` store this
+        together with a stream position and fingerprint; the entities are
+        regenerated by replaying the declared stream source
+        (:meth:`replay_structure`) instead of being embedded.
+        """
         from repro.utils.rng import rng_state
 
+        self._sync_probabilities()
         return {
             "t": self._t,
-            "sources": [source_to_dict(source) for source in self._sources],
-            "documents": [document_to_dict(doc) for doc in self._documents],
-            "claims": [claim_to_dict(claim) for claim in self._claims],
             "probabilities": dict(self._probabilities),
             "labels": dict(self._labels),
+            "pending_labels": dict(self._pending_labels),
             "weights": (
                 None if self._weights is None else self._weights.values.tolist()
             ),
@@ -182,7 +234,6 @@ class StreamingFactChecker:
             document_from_dict,
             source_from_dict,
         )
-        from repro.utils.rng import set_rng_state
 
         self._sources = [source_from_dict(entry) for entry in state["sources"]]
         self._documents = [
@@ -192,12 +243,46 @@ class StreamingFactChecker:
         self._known_sources = {source.source_id for source in self._sources}
         self._known_documents = {doc.document_id for doc in self._documents}
         self._known_claims = {claim.claim_id for claim in self._claims}
+        self.load_mutable_state(state)
+
+    def replay_structure(self, arrivals) -> int:
+        """Re-ingest arrivals structurally, without any online-EM work.
+
+        Used when resuming from a compact checkpoint: the declared stream
+        source replays the first ``t`` arrivals to regenerate the entity
+        sets, then :meth:`load_mutable_state` overlays the saved
+        probabilities, labels, weights and RNG position.  Returns the
+        number of arrivals replayed.
+        """
+        if self._t or self._sources or self._documents or self._claims:
+            raise StreamingError(
+                "replay_structure requires a freshly constructed checker"
+            )
+        count = 0
+        for arrival in arrivals:
+            self._ingest(arrival)
+            count += 1
+        self._t = count
+        return count
+
+    def load_mutable_state(self, state: dict) -> None:
+        """Restore a :meth:`mutable_state_dict` snapshot.
+
+        The entity sets must already be in place (restored directly or
+        replayed via :meth:`replay_structure`).
+        """
+        from repro.utils.rng import set_rng_state
+
         self._probabilities = {
             str(key): float(value)
             for key, value in state["probabilities"].items()
         }
         self._labels = {
             str(key): int(value) for key, value in state["labels"].items()
+        }
+        self._pending_labels = {
+            str(key): int(value)
+            for key, value in state.get("pending_labels", {}).items()
         }
         weights = state["weights"]
         self._weights = (
@@ -234,7 +319,12 @@ class StreamingFactChecker:
             self._model.set_weights(self._weights)
 
     def record_label(self, claim: Union[str, int], value: int) -> None:
-        """Register user input so it survives future rebuilds.
+        """Register user input so it survives future arrivals.
+
+        Labels for claims that have not arrived are rejected by default
+        (a typo'd identifier would otherwise be stored forever and never
+        applied); with ``allow_pending_labels=True`` they are parked in
+        :attr:`pending_labels` and applied the moment the claim arrives.
 
         Args:
             claim: Claim identifier, or a dense index into the *current*
@@ -242,14 +332,34 @@ class StreamingFactChecker:
                 were inconsistent across the public surface; both are now
                 accepted and mapped to the stable string identifier).
             value: User label, 0 or 1.
+
+        Raises:
+            StreamingError: On an invalid label value, or — unless
+                ``allow_pending_labels`` is set — on a claim identifier
+                that has not arrived on this stream.
         """
         if value not in (0, 1):
             raise StreamingError(f"label must be 0 or 1, got {value!r}")
         claim_id = self._resolve_claim_id(claim)
+        if claim_id not in self._known_claims:
+            if not self._allow_pending_labels:
+                raise StreamingError(
+                    f"cannot label unknown claim {claim_id!r}: it has not "
+                    "arrived on this stream (construct the checker with "
+                    "allow_pending_labels=True to park labels for future "
+                    "claims)"
+                )
+            self._pending_labels[claim_id] = int(value)
+            return
         self._labels[claim_id] = value
         self._probabilities[claim_id] = float(value)
-        if self._database is not None and claim_id in self._known_claims:
+        if self._database is not None:
             self._database.label(self._database.claim_position(claim_id), value)
+
+    @property
+    def pending_labels(self) -> Dict[str, int]:
+        """Labels parked for claims that have not arrived yet."""
+        return dict(self._pending_labels)
 
     def _resolve_claim_id(self, claim: Union[str, int]) -> str:
         """Map an index or identifier onto the stable claim identifier."""
@@ -283,9 +393,13 @@ class StreamingFactChecker:
         """Process one claim arrival (lines 2–10 of Alg. 2)."""
         started = time.perf_counter()
         self._t += 1
-        self._ingest(arrival)
-        self._rebuild()
+        new_sources, new_documents, new_claims = self._ingest(arrival)
+        if self._incremental and self._database is not None:
+            self._grow(new_sources, new_documents, new_claims)
+        else:
+            self._rebuild()
         assert self._database is not None and self._model is not None
+        ingested = time.perf_counter()
 
         # E-step: light inference over the grown model.
         marginals = self._mean_field()
@@ -301,79 +415,143 @@ class StreamingFactChecker:
         self._weights = CrfWeights(blended)
         self._model.set_weights(self._weights)
 
-        # Persist marginals for reuse at the next arrival.
-        for index, claim in enumerate(self._database.claims):
-            self._probabilities[claim.claim_id] = float(
-                self._database.probabilities[index]
-            )
+        if not self._incremental:
+            # The snapshot is discarded at the next rebuild: persist the
+            # marginals by claim id for reuse.  The incremental path keeps
+            # the snapshot alive, so the array itself carries them.
+            self._sync_probabilities()
 
-        elapsed = time.perf_counter() - started
+        finished = time.perf_counter()
         return StreamUpdate(
             arrival_index=self._t,
-            elapsed_seconds=elapsed,
+            elapsed_seconds=finished - started,
             step_size=gamma,
             weights=self._weights.copy(),
             num_claims=len(self._claims),
             num_documents=len(self._documents),
             num_sources=len(self._sources),
+            ingest_seconds=ingested - started,
+            update_seconds=finished - ingested,
         )
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
-    def _ingest(self, arrival: ClaimArrival) -> None:
-        """Lines 2–6: extend C^U, D, S with the arrival's entities."""
+    def _ingest(self, arrival: ClaimArrival):
+        """Lines 2–6: extend C^U, D, S with the arrival's entities.
+
+        Returns the novel ``(sources, documents, claims)`` of this
+        arrival, for the incremental growth path.
+        """
+        new_sources: List[Source] = []
+        new_documents: List[Document] = []
+        new_claims: List[Claim] = []
         for source in arrival.sources:
             if source.source_id not in self._known_sources:
                 self._known_sources.add(source.source_id)
                 self._sources.append(source)
+                new_sources.append(source)
         for document in arrival.documents:
             if document.document_id not in self._known_documents:
                 self._known_documents.add(document.document_id)
                 self._documents.append(document)
+                new_documents.append(document)
         if arrival.claim is None:
-            return  # Evidence-only event: no new claim.
-        if arrival.claim.claim_id in self._known_claims:
-            raise StreamingError(
-                f"claim {arrival.claim.claim_id!r} arrived twice"
-            )
-        self._known_claims.add(arrival.claim.claim_id)
+            return new_sources, new_documents, new_claims
+        claim_id = arrival.claim.claim_id
+        if claim_id in self._known_claims:
+            raise StreamingError(f"claim {claim_id!r} arrived twice")
+        self._known_claims.add(claim_id)
         self._claims.append(arrival.claim)
+        new_claims.append(arrival.claim)
+        pending = self._pending_labels.pop(claim_id, None)
+        if pending is not None:
+            self._labels[claim_id] = pending
+            self._probabilities[claim_id] = float(pending)
+        return new_sources, new_documents, new_claims
+
+    def _grow(
+        self,
+        new_sources: List[Source],
+        new_documents: List[Document],
+        new_claims: List[Claim],
+    ) -> None:
+        """Extend the live snapshot in place (§7: reuse, never recompute).
+
+        The database merges the arrival's cliques into its columnar
+        arrays, the model patches its cached matrices, and the memoised
+        engine refreshes its gathered views — no object is rebuilt.  New
+        claims start at the prior; a parked or previously recorded label
+        for a new claim is applied immediately, matching the rebuild
+        path's label re-imposition.
+        """
+        assert self._database is not None and self._model is not None
+        delta = self._database.extend(
+            sources=new_sources, documents=new_documents, claims=new_claims
+        )
+        self._model.grow(delta)
+        self._engine = create_engine(self._model, self._engine_config)
+        for claim in new_claims:
+            value = self._labels.get(claim.claim_id)
+            if value is not None:
+                self._database.label(
+                    self._database.claim_position(claim.claim_id), value
+                )
+
+    def _sync_probabilities(self) -> None:
+        """Mirror the snapshot's probability array into the by-id dict."""
+        if self._database is None:
+            return
+        values = self._database.probabilities
+        for index, claim in enumerate(self._database.claims):
+            self._probabilities[claim.claim_id] = float(values[index])
 
     def _rebuild(self) -> None:
-        """Rebuild the snapshot database/model over all seen entities.
+        """(Re)build the snapshot database/model over all seen entities.
 
         Documents may reference claims that have not arrived yet (a multi-
         claim document delivered with its first claim); such forward links
         are truncated until the claim arrives, keeping every reference in
-        the snapshot valid.
+        the snapshot valid.  In incremental mode this runs only for the
+        first build and when restoring a checkpoint — the pending links
+        are then parked inside the database so later arrivals can
+        materialise them in place.
         """
-        documents = []
-        for doc in self._documents:
-            known_links = tuple(
-                link
-                for link in doc.claim_links
-                if link.claim_id in self._known_claims
+        if self._incremental:
+            database = FactDatabase(
+                sources=self._sources,
+                documents=self._documents,
+                claims=self._claims,
+                prior=self._prior,
+                allow_pending_links=True,
             )
-            if len(known_links) == len(doc.claim_links):
-                documents.append(doc)
-            else:
-                documents.append(
-                    Document(
-                        document_id=doc.document_id,
-                        source_id=doc.source_id,
-                        features=doc.features,
-                        claim_links=known_links,
-                        metadata=doc.metadata,
-                    )
+        else:
+            documents = []
+            for doc in self._documents:
+                known_links = tuple(
+                    link
+                    for link in doc.claim_links
+                    if link.claim_id in self._known_claims
                 )
-        database = FactDatabase(
-            sources=self._sources,
-            documents=documents,
-            claims=self._claims,
-            prior=self._prior,
-        )
+                if len(known_links) == len(doc.claim_links):
+                    documents.append(doc)
+                else:
+                    documents.append(
+                        Document(
+                            document_id=doc.document_id,
+                            source_id=doc.source_id,
+                            features=doc.features,
+                            claim_links=known_links,
+                            metadata=doc.metadata,
+                        )
+                    )
+            database = FactDatabase(
+                sources=self._sources,
+                documents=documents,
+                claims=self._claims,
+                prior=self._prior,
+            )
         probabilities = np.asarray(
             [
                 self._probabilities.get(claim.claim_id, self._prior)
@@ -399,8 +577,6 @@ class StreamingFactChecker:
             aggregation=self._aggregation,
             coupling_enabled=self._coupling_enabled,
         )
-        # The arrival changed the structure, so the cached evidence
-        # matrices are rebuilt for the grown model.
         self._engine = create_engine(self._model, self._engine_config)
 
     def _mean_field(self) -> np.ndarray:

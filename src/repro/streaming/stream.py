@@ -68,8 +68,10 @@ def stream_from_database(database: FactDatabase) -> Iterator[ClaimArrival]:
     Iterates documents in index order; when a document references a claim
     that has not arrived yet, a :class:`ClaimArrival` is emitted carrying
     the claim, all pending documents (including this one), and all sources
-    those documents introduced.  Claims never referenced by any document
-    are emitted last with empty context.
+    those documents introduced.  Sources that never published a document
+    are delivered with the trailing evidence-only event, so the stream's
+    end-state entity sets match the corpus exactly.  Claims never
+    referenced by any document are emitted last with empty context.
 
     Yields:
         :class:`ClaimArrival` events covering every claim exactly once.
@@ -102,9 +104,18 @@ def stream_from_database(database: FactDatabase) -> Iterator[ClaimArrival]:
             pending_documents = []
             pending_sources = []
 
-    if pending_documents:
+    # Sources without any document never enter via the document walk;
+    # deliver them (in corpus order) with the trailing backlog so replaying
+    # the stream reproduces the corpus entity sets exactly.
+    pending_sources.extend(
+        source
+        for source in database.sources
+        if source.source_id not in seen_sources
+    )
+    if pending_documents or pending_sources:
         # Trailing documents only reference already-arrived claims:
-        # deliver them as an evidence-only event.
+        # deliver them — and any document-less sources — as an
+        # evidence-only event.
         yield ClaimArrival(
             claim=None,
             documents=pending_documents,

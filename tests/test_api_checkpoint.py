@@ -235,7 +235,7 @@ class TestCheckpointFormat:
         session.save(path)
         payload = json.loads(path.read_text())
         assert payload["format"] == "repro-session-checkpoint"
-        assert payload["version"] == 2
+        assert payload["version"] == 3
         assert payload["mode"] == "batch"
         assert "spec" in payload and "state" in payload
         # An explicitly supplied corpus cannot be regenerated from the
@@ -355,3 +355,148 @@ class TestCheckpointCompaction:
         resumed = FactCheckSession.load(legacy)
         assert resumed.trace.iterations == 1
         assert resumed.step().iteration == 2
+
+
+def sourced_streaming_spec(engine: str) -> SessionSpec:
+    """Streaming spec whose arrivals come from a declared replayable source."""
+    return SessionSpec(
+        mode="streaming",
+        seed=5,
+        inference={"engine": engine, "em_iterations": 2, "num_samples": 8},
+        guidance={"strategy": "hybrid", "candidate_limit": 10},
+        effort={"goal": {"kind": "none"}},
+        stream={
+            "validation_every": 4,
+            "source": {"dataset": {"name": "health", "seed": 5, "scale": 0.02}},
+        },
+    )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestMidStreamResumeWithForwardLinks:
+    def test_resume_at_truncated_forward_link_matches_uninterrupted(
+        self, engine, tmp_path
+    ):
+        """Checkpoint taken while a document's forward link is truncated.
+
+        The first micro-corpus arrival delivers d1, which also references
+        the not-yet-arrived claim c2 — at the cut the snapshot holds the
+        document with that link parked (only the d1→c1 clique exists).
+        Resuming must rebuild exactly that truncated structure and then
+        continue bit-for-bit.
+        """
+        database = build_micro_database()
+        arrivals = list(stream_from_database(database))
+
+        golden = FactCheckSession(streaming_spec(engine)).run(arrivals=arrivals)
+
+        interrupted = FactCheckSession(streaming_spec(engine)).open()
+        interrupted.observe(arrivals[0])
+        snapshot = interrupted.database
+        assert snapshot.num_claims == 1
+        assert snapshot.num_documents == 1
+        assert snapshot.num_cliques == 1  # d1→c2 parked, not materialised
+        path = tmp_path / "forward-cut.json"
+        interrupted.save(path)
+
+        resumed_session = FactCheckSession.load(path)
+        restored = resumed_session.database
+        assert restored.num_cliques == 1
+        resumed = resumed_session.run(arrivals=arrivals[1:])
+
+        assert len(golden.stream_updates) == len(resumed.stream_updates)
+        for a, b in zip(golden.stream_updates, resumed.stream_updates):
+            assert a.arrival_index == b.arrival_index
+            assert np.array_equal(a.weights.values, b.weights.values)
+        assert np.array_equal(golden.weights.values, resumed.weights.values)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestCompactStreamingCheckpoint:
+    """Source-backed sessions checkpoint as fingerprint + position (v3)."""
+
+    def test_mid_stream_compact_resume_matches_uninterrupted(
+        self, engine, tmp_path
+    ):
+        golden = FactCheckSession(sourced_streaming_spec(engine)).run()
+
+        interrupted = FactCheckSession(sourced_streaming_spec(engine)).open()
+        interrupted.ingest_from_source(count=7)
+        path = tmp_path / "compact-stream.json"
+        interrupted.save(path)
+
+        payload = json.loads(path.read_text())
+        assert payload["state"]["stream_position"] == 7
+        assert "stream_fingerprint" in payload
+        # Compact form: the checker state carries no entity lists.
+        for key in ("sources", "documents", "claims"):
+            assert key not in payload["state"]["checker"]
+
+        resumed_session = FactCheckSession.load(path)
+        resumed = resumed_session.run()
+
+        assert len(golden.stream_updates) == len(resumed.stream_updates)
+        for a, b in zip(golden.stream_updates, resumed.stream_updates):
+            assert a.arrival_index == b.arrival_index
+            assert a.step_size == b.step_size
+            assert np.array_equal(a.weights.values, b.weights.values)
+        assert golden.validated_claim_ids == resumed.validated_claim_ids
+        assert_records_identical(golden.trace.records, resumed.trace.records)
+        assert np.array_equal(golden.weights.values, resumed.weights.values)
+
+    def test_compact_is_smaller_than_embedded_checkpoint(self, engine, tmp_path):
+        sourced = FactCheckSession(sourced_streaming_spec(engine)).open()
+        sourced.ingest_from_source(count=10)
+        compact = tmp_path / "compact.json"
+        sourced.save(compact)
+
+        embedded_session = FactCheckSession(streaming_spec(engine)).open()
+        source = sourced_streaming_spec(engine).stream.source
+        from itertools import islice
+
+        embedded_session.ingest(islice(source.arrivals(), 10))
+        embedded = tmp_path / "embedded.json"
+        embedded_session.save(embedded)
+        assert compact.stat().st_size < embedded.stat().st_size / 2
+
+    def test_stream_fingerprint_mismatch_rejected(self, engine, tmp_path):
+        session = FactCheckSession(sourced_streaming_spec(engine)).open()
+        session.ingest_from_source(count=5)
+        path = tmp_path / "tampered.json"
+        session.save(path)
+        payload = json.loads(path.read_text())
+        payload["stream_fingerprint"]["entities_digest"] = "0" * 16
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="does not match"):
+            FactCheckSession.load(path)
+
+
+class TestExternalArrivalsFallback:
+    def test_out_of_band_arrival_forces_embedded_checkpoint(self, tmp_path):
+        from itertools import islice
+
+        spec = sourced_streaming_spec("numpy")
+        session = FactCheckSession(spec).open()
+        session.ingest_from_source(count=3)
+        # An arrival observed outside the declared source makes the
+        # stream position meaningless: the checkpoint must fall back to
+        # embedding the full entity state.
+        extra = next(islice(spec.stream.source.arrivals(), 3, 4))
+        session.observe(extra)
+        path = tmp_path / "external.json"
+        session.save(path)
+        payload = json.loads(path.read_text())
+        assert "stream_position" not in payload["state"]
+        assert "stream_fingerprint" not in payload
+        assert "claims" in payload["state"]["checker"]
+
+        resumed = FactCheckSession.load(path)
+        with pytest.raises(Exception, match="outside its declared"):
+            resumed.ingest_from_source(count=1)
+
+    def test_ingest_from_source_requires_declared_source(self):
+        from repro.errors import SessionError
+
+        session = FactCheckSession(streaming_spec("numpy")).open()
+        with pytest.raises(SessionError, match="spec.stream.source"):
+            session.ingest_from_source(count=1)

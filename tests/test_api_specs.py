@@ -236,3 +236,49 @@ class TestBuilders:
         other = spec.replace(seed=2)
         assert other.seed == 2 and spec.seed == 1
         assert other.inference == spec.inference
+
+
+class TestStreamSourceSpec:
+    def test_requires_a_dataset(self):
+        from repro.api import StreamSourceSpec
+
+        with pytest.raises(SpecError, match="dataset"):
+            StreamSourceSpec()
+
+    def test_only_posting_order_is_defined(self):
+        from repro.api import StreamSourceSpec
+
+        with pytest.raises(SpecError, match="posting"):
+            StreamSourceSpec(
+                dataset={"name": "wiki", "seed": 1, "scale": 0.1},
+                order="shuffled",
+            )
+
+    def test_round_trips_and_coerces_nested_dataset(self):
+        from repro.api import StreamSourceSpec
+
+        spec = StreamSourceSpec(dataset={"name": "wiki", "seed": 1, "scale": 0.1})
+        assert isinstance(spec.dataset, DatasetSpec)
+        assert StreamSourceSpec.from_dict(spec.to_dict()) == spec
+
+    def test_stream_spec_with_source_round_trips_through_json(self):
+        spec = SessionSpec(
+            mode="streaming",
+            stream={
+                "source": {"dataset": {"name": "health", "seed": 2, "scale": 0.05}}
+            },
+        )
+        restored = SessionSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.stream.source.dataset.name == "health"
+
+    def test_arrivals_replays_the_declared_corpus(self):
+        from repro.api import StreamSourceSpec
+        from repro.datasets import load_dataset
+
+        spec = StreamSourceSpec(dataset={"name": "wiki", "seed": 3, "scale": 0.05})
+        replayed = [a.claim.claim_id for a in spec.arrivals() if a.claim is not None]
+        corpus = load_dataset("wiki", seed=3, scale=0.05)
+        assert sorted(replayed) == sorted(c.claim_id for c in corpus.claims)
+        # A second call starts a fresh iterator, not a drained one.
+        assert len(list(spec.arrivals())) == len(list(spec.arrivals()))

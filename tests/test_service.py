@@ -69,6 +69,8 @@ def scrub(result_dict: dict) -> dict:
     scrubbed = copy.deepcopy(result_dict)
     for update in scrubbed.get("stream_updates", []):
         update["elapsed_seconds"] = 0.0
+        update["ingest_seconds"] = 0.0
+        update["update_seconds"] = 0.0
     trace = scrubbed.get("trace")
     if trace:
         for record in trace["records"]:
@@ -502,3 +504,46 @@ class TestWireModel:
         assert parsed.validated_claim_ids == golden.validated_claim_ids
         assert np.array_equal(parsed.weights.values, golden.weights.values)
         assert len(parsed.trace.records) == len(golden.trace.records)
+
+
+class TestSourceBackedStreaming:
+    """Streaming sessions driven from their declared stream source."""
+
+    @staticmethod
+    def sourced_spec(seed: int = 5) -> SessionSpec:
+        return SessionSpec(
+            mode="streaming",
+            seed=seed,
+            inference={"em_iterations": 2, "num_samples": 8},
+            guidance={"strategy": "hybrid", "candidate_limit": 10},
+            effort={"goal": {"kind": "none"}},
+            stream={
+                "validation_every": 4,
+                "source": {
+                    "dataset": {"name": "health", "seed": 5, "scale": 0.02}
+                },
+            },
+        )
+
+    def test_stepping_the_source_matches_inprocess_run(self, manager):
+        golden = FactCheckSession(self.sourced_spec()).run()
+
+        manager.create(self.sourced_spec(), session_id="sourced")
+        delivered = 0
+        while True:
+            response = manager.step("sourced", StepRequest(count=5))
+            assert response["completed"] is False
+            if not response["updates"]:
+                break
+            delivered += len(response["updates"])
+        assert delivered == len(golden.stream_updates)
+        final = manager.step("sourced", StepRequest(run=True))
+        assert final["completed"] is True
+        assert scrub(final["result"]) == scrub(result_to_dict(golden))
+
+    def test_step_without_source_or_run_is_rejected(self, manager):
+        from repro.errors import SessionError
+
+        manager.create(streaming_spec(), session_id="plain")
+        with pytest.raises(SessionError, match="spec.stream.source"):
+            manager.step("plain", StepRequest(count=1))

@@ -225,3 +225,143 @@ class TestStreamingFactChecker:
         second_half = np.mean(times[len(times) // 2 :])
         # Quadratic blow-up would give ratios far above this bound.
         assert second_half < max(first_half * 25, 0.05)
+
+
+class TestIncrementalGrowth:
+    """The incremental growth path against the rebuild-per-arrival oracle.
+
+    ``incremental=False`` keeps the historical rebuild-everything path as
+    a reference implementation; the default in-place growth must match it
+    bit for bit at every arrival — including across mid-stream labels and
+    parameter exchanges — on both engine backends.
+    """
+
+    @pytest.mark.parametrize("engine", ("numpy", "reference"))
+    def test_micro_stream_matches_rebuild_bit_for_bit(self, engine, micro_db):
+        arrivals = list(stream_from_database(micro_db))
+        grown = StreamingFactChecker(incremental=True, engine=engine, seed=3)
+        rebuilt = StreamingFactChecker(incremental=False, engine=engine, seed=3)
+        for index, arrival in enumerate(arrivals):
+            a = grown.observe(arrival)
+            b = rebuilt.observe(arrival)
+            assert np.array_equal(a.weights.values, b.weights.values)
+            assert np.array_equal(
+                np.asarray(grown.database.probabilities),
+                np.asarray(rebuilt.database.probabilities),
+            )
+            for left, right in zip(
+                grown.database.clique_arrays(), rebuilt.database.clique_arrays()
+            ):
+                assert np.array_equal(left, right)
+            if index == 0:
+                # Mid-stream interventions must not break the equivalence.
+                claim_id = arrival.claim.claim_id
+                grown.record_label(claim_id, 1)
+                rebuilt.record_label(claim_id, 1)
+                exchanged = grown.weights
+                exchanged.values[:] = 0.05
+                grown.receive_weights(exchanged)
+                rebuilt.receive_weights(exchanged)
+
+    @pytest.mark.parametrize("engine", ("numpy", "reference"))
+    def test_wiki_stream_matches_rebuild_bit_for_bit(self, engine):
+        db = load_dataset("wiki", seed=42, scale=0.15)
+        arrivals = list(stream_from_database(db))
+        grown = StreamingFactChecker(incremental=True, engine=engine, seed=3)
+        rebuilt = StreamingFactChecker(incremental=False, engine=engine, seed=3)
+        for arrival in arrivals:
+            a = grown.observe(arrival)
+            b = rebuilt.observe(arrival)
+            assert np.array_equal(a.weights.values, b.weights.values)
+        assert np.array_equal(
+            np.asarray(grown.database.probabilities),
+            np.asarray(rebuilt.database.probabilities),
+        )
+
+
+class TestDocumentlessSources:
+    """Sources that never published a document still reach the stream."""
+
+    @staticmethod
+    def _corpus_with_lonely_source():
+        from repro.data.database import FactDatabase
+        from repro.data.entities import Claim, ClaimLink, Document, Source
+
+        return FactDatabase(
+            sources=[
+                Source("s1", features=[1.0]),
+                Source("lurker", features=[-1.0]),
+            ],
+            documents=[
+                Document(
+                    "d1",
+                    source_id="s1",
+                    features=[0.5],
+                    claim_links=(ClaimLink("c1"),),
+                )
+            ],
+            claims=[Claim("c1", text="one", truth=True)],
+        )
+
+    def test_lonely_source_delivered_with_trailing_event(self):
+        arrivals = list(stream_from_database(self._corpus_with_lonely_source()))
+        delivered = [s.source_id for a in arrivals for s in a.sources]
+        assert sorted(delivered) == ["lurker", "s1"]
+        trailing = arrivals[-1]
+        assert trailing.claim is None
+        assert [s.source_id for s in trailing.sources] == ["lurker"]
+
+    def test_stream_end_state_matches_batch_corpus(self):
+        corpus = self._corpus_with_lonely_source()
+        checker = StreamingFactChecker(seed=0)
+        for arrival in stream_from_database(corpus):
+            checker.observe(arrival)
+        snapshot = checker.database
+        assert {s.source_id for s in snapshot.sources} == {
+            s.source_id for s in corpus.sources
+        }
+        assert {d.document_id for d in snapshot.documents} == {
+            d.document_id for d in corpus.documents
+        }
+        assert {c.claim_id for c in snapshot.claims} == {
+            c.claim_id for c in corpus.claims
+        }
+
+
+class TestPendingLabels:
+    """record_label on claims that have not arrived yet."""
+
+    def test_unknown_claim_rejected_by_default(self, micro_db):
+        checker = StreamingFactChecker(seed=0)
+        arrivals = list(stream_from_database(micro_db))
+        checker.observe(arrivals[0])
+        with pytest.raises(StreamingError, match="has not arrived"):
+            checker.record_label("no-such-claim", 1)
+
+    def test_pending_label_parked_then_promoted(self, micro_db):
+        checker = StreamingFactChecker(allow_pending_labels=True, seed=0)
+        arrivals = list(stream_from_database(micro_db))
+        future = [a.claim.claim_id for a in arrivals if a.claim is not None][-1]
+        checker.record_label(future, 1)
+        assert checker.pending_labels == {future: 1}
+        for arrival in arrivals:
+            checker.observe(arrival)
+        assert checker.pending_labels == {}
+        db = checker.database
+        assert db.label_of(db.claim_position(future)) == 1
+        assert db.probability(db.claim_position(future)) == 1.0
+
+    def test_pending_labels_survive_state_roundtrip(self, micro_db):
+        checker = StreamingFactChecker(allow_pending_labels=True, seed=0)
+        arrivals = list(stream_from_database(micro_db))
+        checker.observe(arrivals[0])
+        future = [a.claim.claim_id for a in arrivals if a.claim is not None][-1]
+        checker.record_label(future, 0)
+        clone = StreamingFactChecker(allow_pending_labels=True, seed=0)
+        clone.load_state_dict(checker.state_dict())
+        assert clone.pending_labels == {future: 0}
+        for arrival in arrivals[1:]:
+            clone.observe(arrival)
+        assert clone.pending_labels == {}
+        db = clone.database
+        assert db.label_of(db.claim_position(future)) == 0

@@ -160,7 +160,7 @@ class TestStreamingWarmStart:
 
     def test_label_recorded_before_claim_arrives(self):
         arrivals = self._arrivals()
-        checker = StreamingFactChecker(seed=5)
+        checker = StreamingFactChecker(allow_pending_labels=True, seed=5)
         checker.observe(arrivals[0])
         future_ids = {
             arrival.claim.claim_id for arrival in arrivals[1:]
@@ -168,10 +168,12 @@ class TestStreamingWarmStart:
         }
         target = sorted(future_ids)[0]
         checker.record_label(target, 0)
+        assert checker.pending_labels == {target: 0}
         for arrival in arrivals[1:]:
             checker.observe(arrival)
         position = checker.database.claim_position(target)
         assert checker.database.label_of(position) == 0
+        assert checker.pending_labels == {}
 
     def test_weights_blend_continuously(self):
         """W_t = W_{t-1} + γ_t(Ŵ_t - W_{t-1}) keeps a warm trajectory."""
