@@ -1,0 +1,131 @@
+"""Programmatic entry point: collect files, run rules, apply baseline.
+
+``run_lint`` is what both ``python -m repro lint`` and the test-suite
+self-check call; it returns a :class:`~repro.analysis.findings.LintReport`
+and never raises on findings (only on unusable baselines).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.findings import Finding, LintReport, sort_findings
+from repro.analysis.registry import ModuleContext, rule_spec, run_checkers
+from repro.analysis.suppressions import build_suppression_index
+
+rule_spec("LINT001", "file could not be parsed")
+
+
+def default_paths() -> list[Path]:
+    """The ``repro`` package source tree (what CI lints)."""
+    return [Path(__file__).resolve().parent.parent]
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    # De-duplicate while keeping deterministic order.
+    seen: set[Path] = set()
+    unique: list[Path] = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def display_path(path: Path) -> str:
+    """Stable repo-relative path (what fingerprints and reports use)."""
+    resolved = path.resolve()
+    try:
+        relative = resolved.relative_to(Path.cwd())
+    except ValueError:
+        relative = resolved
+    return relative.as_posix()
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name inferred from the file path (best effort)."""
+    parts = list(path.resolve().with_suffix("").parts)
+    anchor = None
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            anchor = index
+    if anchor is None:
+        return ""
+    module_parts = parts[anchor:]
+    if module_parts and module_parts[-1] == "__init__":
+        module_parts = module_parts[:-1]
+    return ".".join(module_parts)
+
+
+def lint_source(
+    source: str, path: str, module_name: str = ""
+) -> tuple[list[Finding], int]:
+    """Lint one module's source; returns (kept findings, suppressed count)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        empty = ModuleContext(path=path, source="", tree=ast.parse(""))
+        finding = empty.finding("LINT001", exc.lineno or 1, f"syntax error: {exc.msg}")
+        return [finding], 0
+    ctx = ModuleContext(path=path, source=source, tree=tree, module_name=module_name)
+    suppressions = build_suppression_index(source)
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in run_checkers(ctx):
+        if suppressions.is_suppressed(finding.rule, finding.line):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return sort_findings(kept), suppressed
+
+
+def run_lint(
+    paths: Sequence[str | Path] | None = None,
+    baseline_path: str | Path | None = None,
+    write_baseline: bool = False,
+) -> LintReport:
+    """Lint ``paths`` (default: the repro package source).
+
+    ``baseline_path`` enables baseline mode: findings recorded there do
+    not count as new.  With ``write_baseline`` the current findings are
+    written to ``baseline_path`` (or the default name) instead of being
+    compared.
+    """
+    targets = iter_python_files(paths if paths else default_paths())
+    report = LintReport(files_checked=len(targets))
+    for path in targets:
+        source = path.read_text(encoding="utf-8")
+        shown = display_path(path)
+        findings, suppressed = lint_source(source, shown, module_name_for(path))
+        report.findings.extend(findings)
+        report.suppressed += suppressed
+    report.findings = sort_findings(report.findings)
+    if write_baseline:
+        target = Path(baseline_path) if baseline_path else Path(DEFAULT_BASELINE_NAME)
+        save_baseline(target, report.findings)
+        report.baseline_applied = True
+        report.new_findings = []
+        return report
+    if baseline_path is not None:
+        baseline = load_baseline(baseline_path)
+        report.new_findings = apply_baseline(report.findings, baseline)
+        report.baseline_applied = True
+    else:
+        report.new_findings = list(report.findings)
+    return report

@@ -1,0 +1,77 @@
+"""Committed-baseline support: pre-existing findings don't gate CI.
+
+A baseline is a JSON document mapping finding fingerprints — ``(path,
+rule, message)``, deliberately line-insensitive — to occurrence counts.
+Applying a baseline to a fresh run subtracts up to the recorded count of
+each fingerprint; whatever remains is *new* and fails the build.  Fixing
+a baselined finding never breaks the build (counts only bound from
+above), so the baseline ratchets monotonically toward empty.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.findings import Finding, count_fingerprints
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "analysis_baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file is missing, unreadable, or malformed."""
+
+
+def save_baseline(path: str | Path, findings: Sequence[Finding]) -> None:
+    counts = count_fingerprints(findings)
+    entries = [
+        {"path": fp[0], "rule": fp[1], "message": fp[2], "count": count}
+        for fp, count in sorted(counts.items())
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_baseline(path: str | Path) -> dict[tuple[str, str, str], int]:
+    path = Path(path)
+    if not path.exists():
+        raise BaselineError(
+            f"baseline file not found: {path} "
+            f"(create it with `python -m repro lint --write-baseline`)"
+        )
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline file is not valid JSON: {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"unsupported baseline format in {path}; expected "
+            f'{{"version": {BASELINE_VERSION}, ...}}'
+        )
+    entries = payload.get("findings", [])
+    counts: dict[tuple[str, str, str], int] = {}
+    for entry in entries:
+        try:
+            fingerprint = (entry["path"], entry["rule"], entry["message"])
+            count = int(entry["count"])
+        except (TypeError, KeyError, ValueError) as exc:
+            raise BaselineError(f"malformed baseline entry in {path}: {entry!r}") from exc
+        counts[fingerprint] = counts.get(fingerprint, 0) + count
+    return counts
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: dict[tuple[str, str, str], int]
+) -> list[Finding]:
+    """The findings not absorbed by ``baseline``, in input order."""
+    budget = dict(baseline)
+    new: list[Finding] = []
+    for finding in findings:
+        remaining = budget.get(finding.fingerprint, 0)
+        if remaining > 0:
+            budget[finding.fingerprint] = remaining - 1
+        else:
+            new.append(finding)
+    return new

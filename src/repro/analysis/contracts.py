@@ -1,0 +1,114 @@
+"""Runtime-side contract decorators read statically by the linter.
+
+The cache-coherence (CACHE) and lock-discipline (LOCK) rules need the
+runtime code to *declare* its contracts: which derived caches exist,
+which fields back them, which hook refreshes them, and which helper
+methods assume a lock is already held.  These decorators carry those
+declarations.  At runtime they are (nearly) free — they attach a small
+metadata attribute to the function and return it unchanged — so the
+hottest paths in the framework can wear them without cost.
+
+The linter never imports the decorated modules; it reads the decorator
+*calls* out of the AST.  Because of that, every argument passed to these
+decorators in framework code must be a literal (string, tuple of
+strings, or ``None``).  Passing computed values silently hides the
+declaration from :mod:`repro.analysis.rules.cache` and
+:mod:`repro.analysis.rules.lock`.
+
+This module is stdlib-only and imports nothing from the rest of
+``repro`` so the lowest layers (``repro.data``, ``repro.crf``) can use
+it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+_F = TypeVar("_F", bound=Callable)
+
+#: Attribute name under which contract metadata is stored on functions.
+CONTRACT_ATTR = "__repro_contracts__"
+
+
+def _annotate(func: _F, key: str, value) -> _F:
+    target = func
+    # Decorators compose with @property / @functools.cached_property; the
+    # metadata belongs on the underlying function either way.
+    if isinstance(target, property):  # pragma: no cover - defensive
+        target = target.fget
+    meta = getattr(target, CONTRACT_ATTR, None)
+    if meta is None:
+        meta = {}
+        setattr(target, CONTRACT_ATTR, meta)
+    meta.setdefault(key, []).append(value)
+    return func
+
+
+def mutates(*cache_names: str) -> Callable[[_F], _F]:
+    """Declare that a method mutates the backing fields of named caches.
+
+    The CACHE rules require every ``@mutates("x")`` method to either call
+    cache ``x``'s invalidation/patch hook or assign its storage slot, and
+    conversely flag methods that write a cache's backing fields without
+    declaring ``@mutates``.
+    """
+
+    def decorate(func: _F) -> _F:
+        for name in cache_names:
+            _annotate(func, "mutates", name)
+        return func
+
+    return decorate
+
+
+def derived_cache(
+    name: str,
+    *,
+    backing: Sequence[str] = (),
+    hook: str | None = None,
+    storage: str | None = None,
+) -> Callable[[_F], _F]:
+    """Declare a derived cache on the decorated accessor.
+
+    ``name``
+        Cache identifier referenced by :func:`mutates` on the same class.
+    ``backing``
+        ``self`` attribute names the cached value is derived from.  Any
+        method assigning one of these must be declared ``@mutates(name)``.
+    ``hook``
+        Method that invalidates or incrementally patches the cache.
+        Calling it discharges a mutator's obligation.
+    ``storage``
+        ``self`` attribute holding the memoised value.  Assigning it
+        (e.g. ``self._design_matrix = None``) also discharges a
+        mutator's obligation.
+    """
+
+    def decorate(func: _F) -> _F:
+        return _annotate(
+            func,
+            "derived_cache",
+            {
+                "name": name,
+                "backing": tuple(backing),
+                "hook": hook,
+                "storage": storage,
+            },
+        )
+
+    return decorate
+
+
+def requires_lock(param: str = "self") -> Callable[[_F], _F]:
+    """Declare that callers must hold ``param``'s lock around this method.
+
+    Used on internal helpers (e.g. ``SessionManager._summary``) that touch
+    a managed session but are only reached from code that already holds
+    the session's RLock.  The LOCK rules treat the decorated body as a
+    locked region and require every call site to itself be inside one.
+    """
+
+    def decorate(func: _F) -> _F:
+        return _annotate(func, "requires_lock", param)
+
+    return decorate

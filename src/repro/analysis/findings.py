@@ -1,0 +1,129 @@
+"""Structured lint findings and reports."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Sequence
+
+
+class Severity(str, Enum):
+    """How a finding affects the lint exit status.
+
+    ``ERROR`` findings gate CI; ``WARNING`` findings are reported but do
+    not fail the run on their own.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location.
+
+    ``fingerprint`` intentionally omits the line number so that unrelated
+    edits moving code around do not invalidate a committed baseline; the
+    baseline matches findings by (path, rule, message) with counts.
+    """
+
+    path: str
+    line: int
+    rule: str
+    severity: Severity
+    message: str
+    hint: str = ""
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        return (self.path, self.rule, self.message)
+
+    def render(self) -> str:
+        text = f"{self.location}: {self.rule} [{self.severity}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass
+class LintReport:
+    """The outcome of a lint run over a set of files.
+
+    ``findings`` holds every non-suppressed finding; ``new_findings`` the
+    subset not matched by the baseline (equal to ``findings`` when no
+    baseline was applied).  ``suppressed`` counts findings silenced by
+    inline ``# repro-lint: disable=...`` comments.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    new_findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+    baseline_applied: bool = False
+
+    @property
+    def gating(self) -> list[Finding]:
+        """Findings that should fail the run."""
+        pool = self.new_findings if self.baseline_applied else self.findings
+        return [f for f in pool if f.severity is Severity.ERROR]
+
+    @property
+    def ok(self) -> bool:
+        return not self.gating
+
+    def render_text(self) -> str:
+        lines = []
+        pool = self.new_findings if self.baseline_applied else self.findings
+        for finding in sorted(pool, key=lambda f: (f.path, f.line, f.rule)):
+            lines.append(finding.render())
+        label = "new finding(s)" if self.baseline_applied else "finding(s)"
+        summary = (
+            f"{len(pool)} {label}, {self.suppressed} suppressed, "
+            f"{self.files_checked} file(s) checked"
+        )
+        if self.baseline_applied:
+            summary += f" ({len(self.findings)} total incl. baselined)"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "baseline_applied": self.baseline_applied,
+            "ok": self.ok,
+            "findings": [f.to_dict() for f in self.findings],
+            "new_findings": [f.to_dict() for f in self.new_findings],
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def sort_findings(findings: Iterable[Finding]) -> list[Finding]:
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.message))
+
+
+def count_fingerprints(findings: Sequence[Finding]) -> dict[tuple[str, str, str], int]:
+    counts: dict[tuple[str, str, str], int] = {}
+    for finding in findings:
+        counts[finding.fingerprint] = counts.get(finding.fingerprint, 0) + 1
+    return counts

@@ -1,0 +1,108 @@
+"""Rule registry: rule specs, checker registration, module context.
+
+Rule *specs* (id, severity, description) and *checkers* (functions that
+scan one module and yield findings) are registered separately: a rule
+family such as CACHE computes one analysis pass per class but emits
+findings under several ids (CACHE001..CACHE003), so checkers own one
+AST walk and may report any spec they declare.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.analysis.findings import Finding, Severity
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    id: str
+    severity: Severity
+    description: str
+
+
+@dataclass
+class ModuleContext:
+    """Everything a checker needs to know about one source module."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    module_name: str = ""
+    lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    def finding(
+        self, rule_id: str, node: ast.AST | int, message: str, hint: str = ""
+    ) -> Finding:
+        spec = get_spec(rule_id)
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(
+            path=self.path,
+            line=line,
+            rule=spec.id,
+            severity=spec.severity,
+            message=message,
+            hint=hint,
+        )
+
+
+Checker = Callable[[ModuleContext], Iterable[Finding]]
+
+_SPECS: dict[str, RuleSpec] = {}
+_CHECKERS: list[Checker] = []
+_LOADED = False
+
+
+def rule_spec(
+    rule_id: str, description: str, severity: Severity = Severity.ERROR
+) -> RuleSpec:
+    """Register (or return the existing) spec for ``rule_id``."""
+    existing = _SPECS.get(rule_id)
+    if existing is not None:
+        return existing
+    spec = RuleSpec(id=rule_id, severity=severity, description=description)
+    _SPECS[rule_id] = spec
+    return spec
+
+
+def get_spec(rule_id: str) -> RuleSpec:
+    try:
+        return _SPECS[rule_id]
+    except KeyError:
+        raise KeyError(f"unknown lint rule id: {rule_id!r}") from None
+
+
+def all_specs() -> list[RuleSpec]:
+    load_default_rules()
+    return [spec for _, spec in sorted(_SPECS.items())]
+
+
+def checker(func: Checker) -> Checker:
+    """Register a checker function; one call per linted module."""
+    _CHECKERS.append(func)
+    return func
+
+
+def all_checkers() -> list[Checker]:
+    load_default_rules()
+    return list(_CHECKERS)
+
+
+def load_default_rules() -> None:
+    """Import the built-in rule modules (idempotent)."""
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True
+    from repro.analysis.rules import api_contract, cache, det, lock, state  # noqa: F401
+
+
+def run_checkers(ctx: ModuleContext) -> Iterator[Finding]:
+    for check in all_checkers():
+        yield from check(ctx)

@@ -1,0 +1,184 @@
+"""Built-in rule families and shared AST helpers.
+
+Importing the submodules registers their specs and checkers with
+:mod:`repro.analysis.registry`; :func:`registry.load_default_rules`
+does so lazily.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``"a.b.c"`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def decorator_call(node: ast.expr) -> tuple[str, ast.Call | None] | None:
+    """Resolve a decorator expression to (terminal name, call-or-None)."""
+    call = None
+    target = node
+    if isinstance(target, ast.Call):
+        call = target
+        target = target.func
+    name = dotted_name(target)
+    if name is None:
+        return None
+    return name.rsplit(".", 1)[-1], call
+
+
+def literal_str(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def literal_str_seq(node: ast.expr) -> tuple[str, ...] | None:
+    """A tuple/list of string literals, or a single string literal."""
+    single = literal_str(node)
+    if single is not None:
+        return (single,)
+    if isinstance(node, (ast.Tuple, ast.List)):
+        items = [literal_str(elt) for elt in node.elts]
+        if all(item is not None for item in items):
+            return tuple(items)  # type: ignore[arg-type]
+    return None
+
+
+def iter_functions(
+    body: list[ast.stmt],
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt
+
+
+def attr_base_name(node: ast.expr) -> str | None:
+    """``"self"`` for ``self.x``, ``"managed"`` for ``managed.session``."""
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        return node.value.id
+    return None
+
+
+def _assignment_root_attr(target: ast.expr) -> str | None:
+    """The ``self`` attribute ultimately written by an assignment target.
+
+    Handles ``self.x = v``, ``self.x[i] = v``, ``self.x[i].y = v`` and
+    so on: unwrap Subscript/Attribute layers until the chain bottoms out
+    at ``self.<attr>``.
+    """
+    node = target
+    seen_inner = False
+    while True:
+        if isinstance(node, ast.Subscript):
+            node = node.value
+            seen_inner = True
+        elif isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                return node.attr
+            node = node.value
+            seen_inner = True
+        else:
+            return None
+        if not seen_inner:  # pragma: no cover - loop structure guard
+            return None
+
+
+def assigned_self_attrs(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    include_nested: bool = True,
+) -> dict[str, int]:
+    """``self`` attributes written anywhere in ``func`` → first line.
+
+    Covers plain/augmented/annotated assignment, ``del``, and writes
+    through subscripts (``self._labels[i] = v`` mutates ``_labels``).
+    """
+    written: dict[str, int] = {}
+
+    def record(target: ast.expr, lineno: int) -> None:
+        attr = _assignment_root_attr(target)
+        if attr is not None and attr not in written:
+            written[attr] = lineno
+
+    for node in ast.walk(func):
+        if not include_nested and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            if node is not func:
+                continue
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, (ast.Tuple, ast.List)):
+                    for elt in target.elts:
+                        record(elt, node.lineno)
+                else:
+                    record(target, node.lineno)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            record(node.target, node.lineno)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                record(target, node.lineno)
+    return written
+
+
+def plain_self_attr_assignments(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, int]:
+    """Direct ``self.<attr> = ...`` bindings (no subscripts) → first line."""
+    written: dict[str, int] = {}
+    for node in ast.walk(func):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                candidates = list(target.elts)
+            else:
+                candidates = [target]
+            for candidate in candidates:
+                if (
+                    isinstance(candidate, ast.Attribute)
+                    and isinstance(candidate.value, ast.Name)
+                    and candidate.value.id == "self"
+                    and candidate.attr not in written
+                ):
+                    written[candidate.attr] = node.lineno
+    return written
+
+
+def self_method_calls(func: ast.AST) -> set[str]:
+    """Names of methods invoked as ``self.<name>(...)`` within ``func``."""
+    calls: set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            calls.add(node.func.attr)
+    return calls
+
+
+def mentioned_self_attrs(func: ast.AST) -> set[str]:
+    """Every ``self.<attr>`` read or written anywhere in ``func``."""
+    attrs: set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            attrs.add(node.attr)
+    return attrs

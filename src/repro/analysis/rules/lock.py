@@ -1,0 +1,241 @@
+"""LOCK: per-session lock discipline in the service layer.
+
+The service guarantee — interleaved requests against one hosted session
+produce bit-for-bit the results of a single-threaded run — holds only
+if every touch of a session's mutable state happens under that
+session's RLock.  The pattern in :mod:`repro.service.manager`:
+
+* ``_ManagedSession`` owns the lock and declares its guarded attributes
+  in a class-level ``_LOCK_GUARDED`` tuple;
+* operations run as closures handed to ``self._run(managed, operation)``,
+  which takes ``managed.lock`` around the closure;
+* called-under-lock helpers are decorated
+  ``@requires_lock("managed")``.
+
+Rules:
+
+* LOCK001 — a guarded attribute (``managed.session`` & co.) is accessed
+  outside a locked region.  Locked regions are ``with <base>.lock:``
+  bodies (for that base), bodies of ``@requires_lock(param)`` functions
+  (for that param), and closures passed to ``self._run(<base>, fn)``
+  (for that base).
+* LOCK002 — a ``@requires_lock`` helper is called without the lock: the
+  argument bound to the declared parameter must itself be locked at the
+  call site.
+
+A nested function does **not** inherit its definition site's locked
+state: a closure may escape the ``with`` block that defined it, so it
+must earn its own locked region via ``_run`` or ``@requires_lock``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ModuleContext, checker, rule_spec
+from repro.analysis.rules import (
+    decorator_call,
+    iter_functions,
+    literal_str,
+    literal_str_seq,
+)
+
+rule_spec("LOCK001", "guarded session attribute accessed outside its lock")
+rule_spec("LOCK002", "@requires_lock helper called without the lock held")
+
+_GUARD_LIST = "_LOCK_GUARDED"
+_RUNNER = "_run"
+
+_FuncNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def _guarded_attrs(tree: ast.Module) -> frozenset[str]:
+    """Union of ``_LOCK_GUARDED`` declarations across the module's classes."""
+    guarded: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign) and stmt.value is not None:
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and target.id == _GUARD_LIST:
+                        guarded.update(literal_str_seq(stmt.value) or ())
+    return frozenset(guarded)
+
+
+def _requires_lock_param(func: _FuncNode) -> str | None:
+    for decorator in func.decorator_list:
+        resolved = decorator_call(decorator)
+        if resolved is None:
+            continue
+        name, call = resolved
+        if name != "requires_lock":
+            continue
+        if call is not None and call.args:
+            return literal_str(call.args[0]) or "self"
+        return "self"
+    return None
+
+
+def _requires_lock_signatures(tree: ast.Module) -> dict[str, int]:
+    """``@requires_lock`` method name → positional index of the locked
+    parameter (0 = first argument after ``self``)."""
+    signatures: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for func in iter_functions(node.body):
+            param = _requires_lock_param(func)
+            if param is None:
+                continue
+            names = [arg.arg for arg in func.args.args]
+            if names and names[0] == "self":
+                names = names[1:]
+            if param in names:
+                signatures[func.name] = names.index(param)
+    return signatures
+
+
+def _with_locked_bases(node: ast.With | ast.AsyncWith) -> set[str]:
+    bases: set[str] = set()
+    for item in node.items:
+        expr = item.context_expr
+        if (
+            isinstance(expr, ast.Attribute)
+            and expr.attr == "lock"
+            and isinstance(expr.value, ast.Name)
+        ):
+            bases.add(expr.value.id)
+    return bases
+
+
+def _run_closure_bases(func: _FuncNode) -> dict[str, str]:
+    """Nested-function name → base name locked for it via ``self._run``."""
+    mapping: dict[str, str] = {}
+    for node in ast.walk(func):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == _RUNNER
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+            and len(node.args) >= 2
+        ):
+            continue
+        base, closure = node.args[0], node.args[1]
+        if isinstance(base, ast.Name) and isinstance(closure, ast.Name):
+            mapping[closure.id] = base.id
+    return mapping
+
+
+class _LockWalker:
+    def __init__(
+        self,
+        ctx: ModuleContext,
+        guarded: frozenset[str],
+        helper_params: dict[str, int],
+    ) -> None:
+        self.ctx = ctx
+        self.guarded = guarded
+        self.helper_params = helper_params
+        self.findings: list[Finding] = []
+
+    def walk_function(self, func: _FuncNode, locked: frozenset[str]) -> None:
+        closure_bases = _run_closure_bases(func)
+        for stmt in func.body:
+            self._visit(stmt, locked, closure_bases)
+
+    def _visit(
+        self, node: ast.AST, locked: frozenset[str], closure_bases: dict[str, str]
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            inner: set[str] = set()
+            param = _requires_lock_param(node)
+            if param is not None:
+                inner.add(param)
+            if node.name in closure_bases:
+                inner.add(closure_bases[node.name])
+            self.walk_function(node, frozenset(inner))
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                self._visit(item.context_expr, locked, closure_bases)
+            body_locked = locked | _with_locked_bases(node)
+            for stmt in node.body:
+                self._visit(stmt, frozenset(body_locked), closure_bases)
+            return
+        if isinstance(node, ast.Attribute):
+            if (
+                node.attr in self.guarded
+                and isinstance(node.value, ast.Name)
+                and node.value.id != "self"
+                and node.value.id not in locked
+            ):
+                self.findings.append(
+                    self.ctx.finding(
+                        "LOCK001",
+                        node,
+                        f"`{node.value.id}.{node.attr}` accessed outside "
+                        f"`with {node.value.id}.lock`",
+                        hint=(
+                            "run the access inside self._run(...), a "
+                            "`with <session>.lock:` block, or a "
+                            "@requires_lock helper"
+                        ),
+                    )
+                )
+        if isinstance(node, ast.Call):
+            self._check_helper_call(node, locked)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, locked, closure_bases)
+
+    def _check_helper_call(self, node: ast.Call, locked: frozenset[str]) -> None:
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and func.attr in self.helper_params
+        ):
+            return
+        index = self.helper_params[func.attr]
+        if index >= len(node.args):
+            return
+        arg = node.args[index]
+        if isinstance(arg, ast.Name) and arg.id not in locked:
+            self.findings.append(
+                self.ctx.finding(
+                    "LOCK002",
+                    node,
+                    f"`self.{func.attr}({arg.id}, ...)` requires "
+                    f"`{arg.id}.lock` to be held at the call site",
+                    hint=(
+                        f"call from inside `with {arg.id}.lock:` or from a "
+                        f"closure passed to self._run({arg.id}, ...)"
+                    ),
+                )
+            )
+
+
+@checker
+def check_lock(ctx: ModuleContext) -> Iterator[Finding]:
+    guarded = _guarded_attrs(ctx.tree)
+    helper_params = _requires_lock_signatures(ctx.tree)
+    if not guarded and not helper_params:
+        return
+    walker = _LockWalker(ctx, guarded, helper_params)
+    for node in ctx.tree.body:
+        if isinstance(node, ast.ClassDef):
+            for func in iter_functions(node.body):
+                param = _requires_lock_param(func)
+                walker.walk_function(
+                    func, frozenset({param} if param is not None else set())
+                )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            param = _requires_lock_param(node)
+            walker.walk_function(
+                node, frozenset({param} if param is not None else set())
+            )
+    yield from walker.findings

@@ -1,0 +1,76 @@
+"""Inline suppression comments for lint findings.
+
+Syntax (rule lists are comma-separated, ``all`` silences every rule):
+
+* ``x = random.random()  # repro-lint: disable=DET001`` — same line;
+* a bare ``# repro-lint: disable=DET001`` comment line suppresses the
+  *next* line (handy when the offending line is long);
+* ``# repro-lint: disable-file=DET002`` anywhere in the file suppresses
+  the rule for the whole file.
+"""
+
+from __future__ import annotations
+
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass
+class SuppressionIndex:
+    """Per-file map of suppression directives, queried by the runner."""
+
+    by_line: dict[int, frozenset[str]] = field(default_factory=dict)
+    file_wide: frozenset[str] = frozenset()
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if "all" in self.file_wide or rule in self.file_wide:
+            return True
+        rules = self.by_line.get(line)
+        if rules is None:
+            return False
+        return "all" in rules or rule in rules
+
+
+def _parse_rules(raw: str) -> frozenset[str]:
+    return frozenset(part.strip() for part in raw.split(",") if part.strip())
+
+
+def build_suppression_index(source: str) -> SuppressionIndex:
+    """Scan ``source`` with the tokenizer so directives inside string
+    literals are not mistaken for suppressions."""
+    by_line: dict[int, set[str]] = {}
+    file_wide: set[str] = set()
+    # Track which lines hold only a comment (plus whitespace): a directive
+    # on such a line applies to the following line instead.
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        tokens = []
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(token.string)
+        if not match:
+            continue
+        kind, raw_rules = match.groups()
+        rules = _parse_rules(raw_rules)
+        if not rules:
+            continue
+        if kind == "disable-file":
+            file_wide.update(rules)
+            continue
+        lineno = token.start[0]
+        prefix = lines[lineno - 1][: token.start[1]] if lineno <= len(lines) else ""
+        target = lineno + 1 if not prefix.strip() else lineno
+        by_line.setdefault(target, set()).update(rules)
+    return SuppressionIndex(
+        by_line={line: frozenset(rules) for line, rules in by_line.items()},
+        file_wide=frozenset(file_wide),
+    )

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the common workflows:
+Five commands cover the common workflows:
 
 * ``experiment`` — run one of the paper's experiment drivers and print
   its table (``python -m repro experiment fig6 --runs 2``).
@@ -16,6 +16,9 @@ Four commands cover the common workflows:
   (``python -m repro serve --port 8080 --spool-dir spool/``); see
   ``docs/SERVICE.md``.  SIGINT/SIGTERM shut it down cleanly, after
   checkpointing every session to the spool directory.
+* ``lint`` — run the repo's reproducibility linter
+  (``python -m repro lint --baseline``); see ``docs/ANALYSIS.md``.
+  Exit code 1 means new findings against the baseline.
 """
 
 from __future__ import annotations
@@ -161,6 +164,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="log every request"
     )
 
+    lint = commands.add_parser(
+        "lint",
+        help="run the reproducibility linter (docs/ANALYSIS.md)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--baseline",
+        nargs="?",
+        const="analysis_baseline.json",
+        default=None,
+        metavar="PATH",
+        help="gate on new findings only, against this committed baseline "
+        "(default path: analysis_baseline.json)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings as the baseline and exit 0",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout format",
+    )
+    lint.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="also write the full findings report as JSON (CI artifact)",
+    )
+
     return parser
 
 
@@ -296,6 +336,37 @@ def run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_lint_command(args: argparse.Namespace) -> int:
+    from repro.analysis.api import run_lint
+    from repro.analysis.baseline import BaselineError
+
+    baseline_path = args.baseline
+    if args.write_baseline and baseline_path is None:
+        baseline_path = "analysis_baseline.json"
+    try:
+        report = run_lint(
+            paths=args.paths or None,
+            baseline_path=baseline_path,
+            write_baseline=args.write_baseline,
+        )
+    except BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.report is not None:
+        Path(args.report).write_text(report.render_json(), encoding="utf-8")
+    if args.write_baseline:
+        print(
+            f"wrote baseline with {len(report.findings)} finding(s) "
+            f"to {baseline_path}"
+        )
+        return 0
+    if args.format == "json":
+        print(report.render_json(), end="")
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -305,6 +376,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate": run_validate,
         "generate": run_generate,
         "serve": run_serve,
+        "lint": run_lint_command,
     }
     return handlers[args.command](args)
 

@@ -68,6 +68,12 @@ class GibbsSampler:
             :mod:`repro.inference.engine`).
     """
 
+    #: Not checkpointed (lint rule STATE001): the model and engine are
+    #: rebuilt from the session spec on resume, and the sweep-schedule
+    #: parameters are immutable configuration.  Chain state (``_spins``,
+    #: ``_rng``) is what ``state_dict`` carries.
+    _STATE_EXCLUDED = ("_model", "_engine", "_burn_in", "_num_samples", "_thin")
+
     def __init__(
         self,
         model: CrfModel,

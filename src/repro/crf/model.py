@@ -38,6 +38,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.analysis.contracts import derived_cache, mutates
 from repro.crf.potentials import CliqueFeaturizer, sigmoid
 from repro.crf.weights import CrfWeights
 from repro.data.database import FactDatabase
@@ -81,6 +82,7 @@ class CrfModel:
     # Static structure
     # ------------------------------------------------------------------
 
+    @mutates("engine_views")
     def _build_pairs(self) -> None:
         """Collapse cliques into unique (claim, source) pairs.
 
@@ -117,6 +119,20 @@ class CrfModel:
         self._pair_order = order
         counts = np.bincount(self._pair_claim, minlength=database.num_claims)
         self._pair_ptr = np.concatenate(([0], np.cumsum(counts)))
+        self._refresh_engines()
+
+    def _refresh_engines(self) -> None:
+        """Re-derive the pair views cached by memoised inference engines.
+
+        Engines created via :func:`repro.inference.engine.create_engine`
+        gather the pair table into their own structure-derived arrays;
+        whenever the pair table is rebuilt they must re-gather (their
+        views read only the pair structure, never the weights, so the
+        refresh is safe before :meth:`set_weights` runs).  A no-op at
+        construction time — the memo does not exist yet.
+        """
+        for engine in getattr(self, "_engine_cache", {}).values():
+            engine.refresh_structure()
 
     def grow(self, delta) -> None:
         """Refresh the cached structure after :meth:`FactDatabase.extend`.
@@ -132,8 +148,6 @@ class CrfModel:
         self._featurizer.grow(delta)
         self._build_pairs()
         self.set_weights(self._weights)
-        for engine in getattr(self, "_engine_cache", {}).values():
-            engine.refresh_structure()
 
     @property
     def database(self) -> FactDatabase:
@@ -155,6 +169,7 @@ class CrfModel:
         """Current parameters W."""
         return self._weights
 
+    @mutates("local_fields")
     def set_weights(self, weights: CrfWeights) -> None:
         """Install new parameters and refresh the cached local fields."""
         expected = self._featurizer.feature_dim + 1
@@ -167,10 +182,23 @@ class CrfModel:
         self._local_fields = self._featurizer.local_fields(weights.feature_weights)
 
     @property
+    @derived_cache("local_fields", backing=("_weights",), storage="_local_fields")
     def local_fields(self) -> np.ndarray:
         """Cached per-claim direct-relation evidence ``lf_c``."""
         return self._local_fields
 
+    @derived_cache(
+        "engine_views",
+        backing=(
+            "_pair_claim",
+            "_pair_source",
+            "_pair_stance",
+            "_pair_order",
+            "_pair_ptr",
+            "_source_clique_count",
+        ),
+        hook="_refresh_engines",
+    )
     def pairs_of_claim(self, claim_index: int) -> np.ndarray:
         """Rows of the (claim, source) pair table involving the claim."""
         start = self._pair_ptr[claim_index]

@@ -26,6 +26,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.contracts import derived_cache, mutates
 from repro.data.database import DatabaseDelta, FactDatabase
 from repro.errors import InferenceError
 from repro.utils.arrays import concat_ranges
@@ -52,6 +53,7 @@ class CliqueFeaturizer:
         self._aggregation = aggregation
         self._build()
 
+    @mutates("design_matrix")
     def _build(self) -> None:
         database = self._database
         num_cliques = database.num_cliques
@@ -84,6 +86,7 @@ class CliqueFeaturizer:
         self._claim_degree = counts.astype(float)
         self._design_matrix: Optional[np.ndarray] = None
 
+    @mutates("design_matrix")
     def grow(self, delta: DatabaseDelta) -> None:
         """Patch the cached matrices after :meth:`FactDatabase.extend`.
 
@@ -247,6 +250,21 @@ class CliqueFeaturizer:
             scale[covered] = 1.0 / np.sqrt(degree[covered])
         return scale
 
+    @derived_cache(
+        "design_matrix",
+        backing=(
+            "_signed_features",
+            "_signed_buffer",
+            "_clique_claim",
+            "_clique_source",
+            "_stance_signs",
+            "_clique_order",
+            "_claim_ptr",
+            "_claim_degree",
+        ),
+        hook="_patch_design_matrix",
+        storage="_design_matrix",
+    )
     def claim_design_matrix(self) -> np.ndarray:
         """Aggregated clique features per claim (M-step design matrix).
 

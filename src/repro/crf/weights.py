@@ -20,7 +20,7 @@ carries the trust signal as its last column.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

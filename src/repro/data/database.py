@@ -31,8 +31,8 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.contracts import derived_cache, mutates
 from repro.data.entities import Claim, Document, Source
-from repro.data.stance import Stance
 from repro.errors import DataModelError
 
 #: Cliques are kept sorted by ``document_index * _KEY_BASE + link_position``,
@@ -165,6 +165,7 @@ class FactDatabase:
     # Construction helpers
     # ------------------------------------------------------------------
 
+    @mutates("cliques", "adjacency", "bipartite")
     def _build_cliques(self) -> None:
         claim_arr: List[int] = []
         document_arr: List[int] = []
@@ -222,6 +223,7 @@ class FactDatabase:
             "sign": self._clique_sign_arr,
             "key": self._clique_key_arr,
         }
+        self._invalidate_structure_caches()
 
     def _truncate_document(self, document: Document) -> Document:
         known = tuple(
@@ -244,10 +246,14 @@ class FactDatabase:
         self._adjacency_cache = None
         self._bipartite_cache = None
 
+    def _invalidate_label_arrays(self) -> None:
+        self._label_arrays = None
+
     # ------------------------------------------------------------------
     # Incremental growth (§7)
     # ------------------------------------------------------------------
 
+    @mutates("cliques", "adjacency", "bipartite")
     def extend(
         self,
         sources: Sequence[Source] = (),
@@ -324,7 +330,7 @@ class FactDatabase:
 
         if retruncate:
             exposed = list(self._documents)
-            for doc_idx in set(retruncate):
+            for doc_idx in sorted(set(retruncate)):
                 full = self._full_documents[doc_idx]
                 if self._doc_pending_count[doc_idx] == 0:
                     del self._full_documents[doc_idx]
@@ -544,6 +550,19 @@ class FactDatabase:
         return self._claims
 
     @property
+    @derived_cache(
+        "cliques",
+        backing=(
+            "_clique_claim_arr",
+            "_clique_document_arr",
+            "_clique_source_arr",
+            "_clique_sign_arr",
+            "_clique_key_arr",
+            "_clique_buffers",
+        ),
+        hook="_invalidate_structure_caches",
+        storage="_cliques_cache",
+    )
     def cliques(self) -> Tuple[Clique, ...]:
         """All relation factors π = {c, d, s} (§3.1)."""
         if self._cliques_cache is None:
@@ -621,6 +640,17 @@ class FactDatabase:
     # Graph adjacency (derived lazily from the columnar arrays)
     # ------------------------------------------------------------------
 
+    @derived_cache(
+        "adjacency",
+        backing=(
+            "_clique_claim_arr",
+            "_clique_document_arr",
+            "_clique_source_arr",
+            "_clique_buffers",
+        ),
+        hook="_invalidate_structure_caches",
+        storage="_adjacency_cache",
+    )
     def _adjacency(
         self,
     ) -> Tuple[List[List[int]], List[List[int]], List[List[int]]]:
@@ -641,6 +671,16 @@ class FactDatabase:
             self._adjacency_cache = (claim_cliques, source_cliques, document_cliques)
         return self._adjacency_cache
 
+    @derived_cache(
+        "bipartite",
+        backing=(
+            "_clique_claim_arr",
+            "_clique_source_arr",
+            "_clique_buffers",
+        ),
+        hook="_invalidate_structure_caches",
+        storage="_bipartite_cache",
+    )
     def _bipartite_adjacency(
         self,
     ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
@@ -743,6 +783,7 @@ class FactDatabase:
         for claim_idx, label in self._labels.items():
             self._probabilities[claim_idx] = float(label)
 
+    @mutates("label_arrays")
     def label(self, claim_index: int, value: int) -> None:
         """Record user input for a claim: credible (1) or non-credible (0).
 
@@ -756,8 +797,9 @@ class FactDatabase:
             raise DataModelError(f"claim index {claim_index} out of range")
         self._labels[claim_index] = int(value)
         self._probabilities[claim_index] = float(value)
-        self._label_arrays = None
+        self._invalidate_label_arrays()
 
+    @mutates("label_arrays")
     def unlabel(self, claim_index: int) -> None:
         """Remove the user label for a claim, returning it to C^U.
 
@@ -768,7 +810,7 @@ class FactDatabase:
         if claim_index in self._labels:
             del self._labels[claim_index]
             self._probabilities[claim_index] = self._prior
-            self._label_arrays = None
+            self._invalidate_label_arrays()
 
     def label_of(self, claim_index: int) -> Optional[int]:
         """User label for the claim, or ``None`` when unlabelled."""
@@ -779,6 +821,12 @@ class FactDatabase:
         """All user labels, keyed by claim index."""
         return dict(self._labels)
 
+    @derived_cache(
+        "label_arrays",
+        backing=("_labels",),
+        hook="_invalidate_label_arrays",
+        storage="_label_arrays",
+    )
     def label_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
         """C^L as parallel ``(indices, values)`` arrays, sorted by index.
 
@@ -828,13 +876,14 @@ class FactDatabase:
             probabilities=self._probabilities.copy(), labels=dict(self._labels)
         )
 
+    @mutates("label_arrays")
     def restore_state(self, state: "FactDatabaseState") -> None:
         """Restore a snapshot taken with :meth:`clone_state`."""
         if state.probabilities.shape != self._probabilities.shape:
             raise DataModelError("state snapshot does not match this database")
         self._probabilities = state.probabilities.copy()
         self._labels = dict(state.labels)
-        self._label_arrays = None
+        self._invalidate_label_arrays()
 
     # ------------------------------------------------------------------
     # Ground truth (simulation only)

@@ -23,7 +23,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.experiments.reporting import ExperimentResult
-from repro.experiments.runner import ExperimentConfig, build_database, build_process
+from repro.experiments.runner import ExperimentConfig, build_database
 from repro.inference.icrf import ICrf
 from repro.metrics.correlation import sequence_rank_correlation
 from repro.streaming.process import StreamingFactChecker

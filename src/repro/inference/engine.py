@@ -58,6 +58,7 @@ from typing import Dict, Optional, Tuple, Type, Union
 
 import numpy as np
 
+from repro.analysis.contracts import derived_cache, mutates
 from repro.crf.model import CrfModel
 from repro.crf.potentials import sigmoid
 from repro.errors import InferenceError
@@ -221,6 +222,7 @@ class NumpyEngine(InferenceEngine):
         super().__init__(model)
         self.refresh_structure()
 
+    @mutates("free_set_gather")
     def refresh_structure(self) -> None:
         """(Re)build the claim-grouped pair views from the model.
 
@@ -390,6 +392,11 @@ class NumpyEngine(InferenceEngine):
             cache["local"] = local
         return local
 
+    @derived_cache(
+        "free_set_gather",
+        backing=("_ptr", "_g_source", "_g_stance", "_g_denom"),
+        storage="_gather_state",
+    )
     def _free_set_cache(self, free_claims: np.ndarray) -> dict:
         """Cache entry of the free-claim set (atomic whole-dict swap)."""
         key = free_claims.tobytes()

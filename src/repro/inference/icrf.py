@@ -74,6 +74,21 @@ class ICrf:
     #: Supported E-step modes.
     ESTEP_MODES = ("gibbs", "meanfield")
 
+    #: Not checkpointed (lint rule STATE001): the database is serialised
+    #: by the owning process/session, the engine and EM configuration are
+    #: rebuilt from the spec, and ``_last_gibbs`` is derived diagnostics
+    #: recomputed by the next :meth:`infer`.  ``state_dict`` carries the
+    #: learned model weights and the sampler chain.
+    _STATE_EXCLUDED = (
+        "_estep_mode",
+        "_database",
+        "_engine",
+        "_em_iterations",
+        "_em_tolerance",
+        "_mstep_config",
+        "_last_gibbs",
+    )
+
     def __init__(
         self,
         database: FactDatabase,

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar, Union
 
+from repro.analysis.contracts import requires_lock
 from repro.api import FactCheckSession, SessionSpec
 from repro.errors import ServiceError, SessionNotFoundError
 from repro.service.wire import (
@@ -79,6 +80,10 @@ class ServiceConfig:
 
 class _ManagedSession:
     """A hosted session plus its lock and durability counters."""
+
+    #: Mutable attributes that may only be touched while holding ``lock``
+    #: (enforced statically by lint rules LOCK001/LOCK002).
+    _LOCK_GUARDED = ("session", "evicted", "events_since_checkpoint")
 
     def __init__(self, session_id: str, session: FactCheckSession) -> None:
         self.id = session_id
@@ -140,6 +145,7 @@ class SessionManager:
             return None
         return Path(self.config.spool_dir) / f"{session_id}{SPOOL_SUFFIX}"
 
+    @requires_lock("managed")
     def _record_events(self, managed: _ManagedSession, events: int) -> None:
         """Advance the durability counter; checkpoint when the period lapses.
 
@@ -262,6 +268,7 @@ class SessionManager:
     # Introspection
     # ------------------------------------------------------------------
 
+    @requires_lock("managed")
     def _summary(self, managed: _ManagedSession) -> dict:
         """Status summary of one session (called under its lock)."""
         session = managed.session

@@ -115,6 +115,24 @@ class StreamingFactChecker:
         seed: Seed or generator.
     """
 
+    #: Not checkpointed (lint rule STATE001): pure configuration, all of
+    #: it restored from the session spec on resume.  Everything that
+    #: drifts per arrival — corpus, weights, probabilities, labels, RNG,
+    #: step counter, rebuilt model/database — is carried (or explicitly
+    #: reconstructed) by ``state_dict``/``load_state_dict``.
+    _STATE_EXCLUDED = (
+        "_schedule",
+        "_aggregation",
+        "_coupling_enabled",
+        "_mstep",
+        "_meanfield_steps",
+        "_initial_bias",
+        "_prior",
+        "_engine_config",
+        "_incremental",
+        "_allow_pending_labels",
+    )
+
     def __init__(
         self,
         schedule: Optional[RobbinsMonroSchedule] = None,

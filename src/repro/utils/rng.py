@@ -6,11 +6,18 @@ integer seed or a ready-made :class:`numpy.random.Generator`.  Centralising
 the conversion here keeps experiments reproducible end-to-end: a single seed
 passed to an experiment driver deterministically derives independent child
 generators for each component.
+
+This module is the *only* place allowed to touch the ``numpy.random``
+module namespace (lint rule DET002) — everything else receives explicit
+generators.  :func:`forbid_global_rng` enforces the same contract at
+runtime and is enabled for the whole test suite in ``tests/conftest.py``.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+import contextlib
+import random as _stdlib_random
+from typing import Iterator, Union
 
 import numpy as np
 
@@ -26,7 +33,7 @@ def ensure_rng(seed: RandomState = None) -> np.random.Generator:
     """
     if isinstance(seed, np.random.Generator):
         return seed
-    return np.random.default_rng(seed)
+    return np.random.default_rng(seed)  # repro-lint: disable=DET002
 
 
 def derive_rng(rng: np.random.Generator, stream: int = 0) -> np.random.Generator:
@@ -36,10 +43,10 @@ def derive_rng(rng: np.random.Generator, stream: int = 0) -> np.random.Generator
     with different ``stream`` indices are statistically independent while the
     whole tree remains a pure function of the root seed.
     """
-    seed_seq = np.random.SeedSequence(
+    seed_seq = np.random.SeedSequence(  # repro-lint: disable=DET002
         entropy=int(rng.integers(0, 2**63 - 1)), spawn_key=(stream,)
     )
-    return np.random.default_rng(seed_seq)
+    return np.random.default_rng(seed_seq)  # repro-lint: disable=DET002
 
 
 def rng_state(rng: np.random.Generator) -> dict:
@@ -63,5 +70,71 @@ def spawn_rngs(seed: RandomState, count: int) -> list[np.random.Generator]:
     """Create ``count`` independent generators from a single seed."""
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
-    root = np.random.SeedSequence(seed if isinstance(seed, int) else None)
-    return [np.random.default_rng(child) for child in root.spawn(count)]
+    root = np.random.SeedSequence(seed if isinstance(seed, int) else None)  # repro-lint: disable=DET002
+    return [np.random.default_rng(child) for child in root.spawn(count)]  # repro-lint: disable=DET002
+
+
+#: Draw functions on the global RNGs that :func:`forbid_global_rng` traps.
+#: Seeding/state functions (``random.seed``/``getstate``/``setstate``,
+#: ``np.random.seed``) and generator constructors (``random.Random``,
+#: ``np.random.default_rng``) stay untouched: test tooling (e.g.
+#: hypothesis) legitimately reseeds the module-level state between
+#: examples — only *draws* leak ambient entropy into results.
+_FORBIDDEN_STDLIB = (
+    "random", "uniform", "randint", "randrange", "choice", "choices",
+    "sample", "shuffle", "gauss", "normalvariate", "betavariate",
+    "expovariate", "lognormvariate", "vonmisesvariate", "paretovariate",
+    "weibullvariate", "triangular", "getrandbits", "randbytes",
+)
+_FORBIDDEN_NUMPY = (
+    "random", "rand", "randn", "randint", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "normal", "uniform",
+    "standard_normal", "binomial", "poisson", "beta", "gamma",
+    "exponential",
+)
+
+
+class GlobalRngForbiddenError(AssertionError):
+    """A global-RNG draw happened inside :func:`forbid_global_rng`."""
+
+
+@contextlib.contextmanager
+def forbid_global_rng() -> Iterator[None]:
+    """Patch the global RNG draw functions to raise while active.
+
+    The static DET rules (``python -m repro lint``) prove framework code
+    never *mentions* the process-global generators; this guard catches
+    the dynamic leftovers — a dependency drawing from ``np.random``, an
+    exec'd snippet, a test helper — by making every draw raise
+    :class:`GlobalRngForbiddenError`.  ``np.random.default_rng`` and
+    explicit ``random.Random(...)`` instances keep working; the point is
+    to forbid *ambient* entropy, not randomness itself.
+
+    Re-entrant and restores the originals on exit.
+    """
+
+    def _raiser(owner: str, name: str):
+        def _blocked(*_args, **_kwargs):
+            raise GlobalRngForbiddenError(
+                f"{owner}.{name}() draws from the process-global RNG; "
+                f"thread a Generator from repro.utils.rng instead"
+            )
+
+        return _blocked
+
+    saved: list[tuple[object, str, object]] = []
+    for name in _FORBIDDEN_STDLIB:
+        original = getattr(_stdlib_random, name, None)
+        if callable(original):
+            saved.append((_stdlib_random, name, original))
+            setattr(_stdlib_random, name, _raiser("random", name))
+    for name in _FORBIDDEN_NUMPY:
+        original = getattr(np.random, name, None)
+        if callable(original):
+            saved.append((np.random, name, original))
+            setattr(np.random, name, _raiser("np.random", name))
+    try:
+        yield
+    finally:
+        for owner, name, original in reversed(saved):
+            setattr(owner, name, original)

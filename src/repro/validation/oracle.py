@@ -39,6 +39,11 @@ class SimulatedUser(User):
         seed: Seed or generator.
     """
 
+    #: Not checkpointed (lint rule STATE001): the two probabilities are
+    #: immutable configuration restored from the session spec; the RNG
+    #: position and the usage counters are what ``state_dict`` carries.
+    _STATE_EXCLUDED = ("_error_probability", "_skip_probability")
+
     def __init__(
         self,
         error_probability: float = 0.0,

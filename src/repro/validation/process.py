@@ -90,6 +90,26 @@ class ValidationProcess:
         seed: Seed or generator.
     """
 
+    #: Not checkpointed (lint rule STATE001): strategy/goal/robustness
+    #: objects and the scalar knobs are immutable configuration rebuilt
+    #: from the session spec; ``_truth`` is simulation-only ground truth
+    #: owned by the database.  Mutable progress — database, iCRF, RNG,
+    #: gains, user counters, trace, termination state — is what
+    #: ``state_dict`` carries.
+    _STATE_EXCLUDED = (
+        "strategy",
+        "goal",
+        "budget",
+        "components",
+        "candidate_limit",
+        "batch_size",
+        "batch_utility_weight",
+        "robustness",
+        "max_skip_attempts",
+        "deterministic_ties",
+        "_truth",
+    )
+
     def __init__(
         self,
         database: FactDatabase,

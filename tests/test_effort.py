@@ -33,8 +33,6 @@ from repro.validation.oracle import SimulatedUser
 from repro.validation.process import ValidationProcess
 from repro.validation.session import IterationRecord, ValidationTrace
 
-from tests.fixtures import build_micro_database
-
 
 def make_record(**overrides) -> IterationRecord:
     defaults = dict(

@@ -7,7 +7,6 @@ asserted cheaply.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.experiments import EXPERIMENTS, ExperimentConfig

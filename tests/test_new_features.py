@@ -15,7 +15,7 @@ from repro.experiments import ablations
 from repro.experiments.runner import ExperimentConfig
 from repro.guidance.base import SelectionContext
 from repro.guidance.gain import GainEstimator
-from repro.guidance.strategies import InformationGainStrategy, UncertaintyStrategy
+from repro.guidance.strategies import UncertaintyStrategy
 from repro.inference.icrf import ICrf
 
 from tests.fixtures import build_micro_database

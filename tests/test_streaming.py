@@ -9,9 +9,7 @@ from repro.datasets import load_dataset
 from repro.errors import StreamingError
 from repro.streaming.process import StreamingFactChecker
 from repro.streaming.schedule import RobbinsMonroSchedule
-from repro.streaming.stream import ClaimArrival, stream_from_database
-
-from tests.fixtures import build_micro_database
+from repro.streaming.stream import stream_from_database
 
 
 class TestSchedule:

@@ -11,7 +11,6 @@ should.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.crf.weights import CrfWeights
 from repro.datasets import load_dataset
