@@ -9,6 +9,10 @@ is the *relative* speedup measured on the same host in the same process,
 which is stable across hardware; ``benchmarks/perf_baseline.json`` holds
 the recorded values.
 
+A second, big-corpus tier (wiki scale ≥ 5) pits the ``sharded`` backend
+against ``numpy`` where the partitioned sweep actually pays off, with
+its own recorded floor (``sharded_sweep_speedup``).
+
 Modes
 -----
 * default — full measurement (best of 5), asserts the hard floor (3×)
@@ -45,6 +49,9 @@ RESULTS_PATH = Path(__file__).parent / "results" / "perf_inference.txt"
 #: Seed benchmark scale — matches the reduced-corpus scale of the
 #: experiment benchmarks (see ``bench_config`` in ``conftest.py``).
 SCALE = 0.6
+#: Big-corpus tier: the sharded backend targets large claim counts, so
+#: its floor is measured where the partitioning actually pays off.
+BIG_SCALE = 5.0
 DATASET_SEED = 42
 
 SMOKE = bool(os.environ.get("PERF_SMOKE"))
@@ -91,6 +98,27 @@ def _sampling_pass(backend: str):
     return elapsed, sampler.sample().marginals
 
 
+def _big_sampling_pass(backend: str):
+    """Timed unit: one Gibbs pass on the big corpus (numpy vs sharded).
+
+    The sharded backend resolves its shard count automatically
+    (``REPRO_NUM_SHARDS`` overrides); both configurations must stay
+    bit-identical to numpy, so the timing comparison is apples to
+    apples.
+    """
+    database = load_dataset("wiki", seed=DATASET_SEED, scale=BIG_SCALE)
+    model = CrfModel(database, weights=_nontrivial_weights(database))
+    sampler = GibbsSampler(
+        model, burn_in=5, num_samples=15, seed=9,
+        engine=create_engine(model, backend),
+    )
+    sampler.sample()  # warm-up: chain init + engine caches + worker pool
+    elapsed = _best_of(sampler.sample)
+    marginals = sampler.sample().marginals
+    sampler.engine.close()
+    return elapsed, marginals
+
+
 def _em_iteration(backend: str):
     """Timed unit: one full EM iteration (Gibbs E-step + TRON M-step)."""
     database = _bench_database()
@@ -119,15 +147,20 @@ def measurements():
     sweep_np, marg_sweep_np = _sampling_pass("numpy")
     em_ref, marg_em_ref = _em_iteration("reference")
     em_np, marg_em_np = _em_iteration("numpy")
+    big_np, marg_big_np = _big_sampling_pass("numpy")
+    big_sh, marg_big_sh = _big_sampling_pass("sharded")
     data = {
         "sweep": {"reference": sweep_ref, "numpy": sweep_np,
                   "speedup": sweep_ref / sweep_np},
         "em": {"reference": em_ref, "numpy": em_np,
                "speedup": em_ref / em_np},
         "combined_speedup": (sweep_ref + em_ref) / (sweep_np + em_np),
+        "sharded": {"numpy": big_np, "sharded": big_sh,
+                    "speedup": big_np / big_sh},
         "equivalent": {
             "sweep": bool(np.array_equal(marg_sweep_ref, marg_sweep_np)),
             "em": bool(np.array_equal(marg_em_ref, marg_em_np)),
+            "sharded": bool(np.array_equal(marg_big_np, marg_big_sh)),
         },
     }
     _write_results(data)
@@ -155,9 +188,18 @@ def _write_results(data) -> None:
         f"{'sweep + EM combined':<28}{'':>12}{'':>12}"
         f"{data['combined_speedup']:>9.2f}x",
         "",
+        f"Big-corpus tier (wiki scale={BIG_SCALE}): numpy vs sharded",
+        "",
+        f"{'unit':<28}{'numpy':>12}{'sharded':>12}{'speedup':>10}",
+        f"{'gibbs sampling pass':<28}"
+        f"{data['sharded']['numpy'] * 1e3:>10.2f}ms"
+        f"{data['sharded']['sharded'] * 1e3:>10.2f}ms"
+        f"{data['sharded']['speedup']:>9.2f}x",
+        "",
         "numerical equivalence: "
         f"sweep={'ok' if data['equivalent']['sweep'] else 'FAIL'} "
-        f"em={'ok' if data['equivalent']['em'] else 'FAIL'}",
+        f"em={'ok' if data['equivalent']['em'] else 'FAIL'} "
+        f"sharded={'ok' if data['equivalent']['sharded'] else 'FAIL'}",
         "",
     ]
     RESULTS_PATH.write_text("\n".join(lines), encoding="utf-8")
@@ -186,6 +228,8 @@ def _record_baseline(data) -> None:
             "sweep_speedup": round(data["sweep"]["speedup"], 2),
             "em_speedup": round(data["em"]["speedup"], 2),
             "combined_speedup": round(data["combined_speedup"], 2),
+            "sharded_scale": BIG_SCALE,
+            "sharded_sweep_speedup": round(data["sharded"]["speedup"], 2),
             "baseline_fraction": BASELINE_FRACTION,
             "re_record": "PERF_RECORD=1 PYTHONPATH=src python -m pytest "
                          "benchmarks/test_perf_inference.py",
@@ -217,6 +261,9 @@ class TestNumericalEquivalence:
         assert measurements["equivalent"]["sweep"]
         assert measurements["equivalent"]["em"]
 
+    def test_sharded_matches_numpy_on_big_corpus(self, measurements):
+        assert measurements["equivalent"]["sharded"]
+
 
 class TestThroughputRegression:
     def test_sampling_pass_speedup(self, measurements):
@@ -237,3 +284,12 @@ class TestThroughputRegression:
         """Acceptance criterion: sweep + one full EM iteration ≥ 3×."""
         floor = _floor(_baseline()["combined_speedup"])
         assert measurements["combined_speedup"] >= floor
+
+    def test_sharded_big_corpus_speedup(self, measurements):
+        """Acceptance criterion: sharded beats numpy ≥ 3× at big scale."""
+        floor = _floor(_baseline()["sharded_sweep_speedup"])
+        assert measurements["sharded"]["speedup"] >= floor, (
+            f"sharded big-corpus speedup "
+            f"{measurements['sharded']['speedup']:.2f}x fell below "
+            f"{floor:.2f}x"
+        )

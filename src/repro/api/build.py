@@ -51,7 +51,7 @@ def build_icrf(
             initial_bias=spec.initial_bias,
             mstep=spec.mstep,
             estep_mode=spec.estep_mode,
-            engine=spec.engine,
+            engine=spec.engine_config(),
             seed=seed,
         )
 
@@ -134,7 +134,7 @@ def build_checker(spec: SessionSpec, seed: RandomState = None):
             meanfield_steps=stream.meanfield_steps,
             initial_bias=inference.initial_bias,
             prior=stream.prior,
-            engine=inference.engine,
+            engine=inference.engine_config(),
             incremental=stream.incremental,
             allow_pending_labels=stream.allow_pending_labels,
             seed=seed,

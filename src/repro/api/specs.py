@@ -168,6 +168,9 @@ class InferenceSpec:
         estep_mode: ``"gibbs"`` (sampling) or ``"meanfield"`` (deterministic).
         engine: Backend name from
             :data:`repro.inference.engine.ENGINE_BACKENDS`.
+        num_shards: Worker count for ``engine="sharded"`` (``None`` =
+            automatic from host CPUs, ``1`` = in-process fast path);
+            rejected for other backends.
         mstep: M-step hyper-parameters (embedded
             :class:`~repro.inference.mstep.MStepConfig`).
     """
@@ -181,6 +184,7 @@ class InferenceSpec:
     initial_bias: float = 1.0
     estep_mode: str = "gibbs"
     engine: str = "numpy"
+    num_shards: Optional[int] = None
     mstep: MStepConfig = field(default_factory=MStepConfig)
 
     def __post_init__(self) -> None:
@@ -199,6 +203,18 @@ class InferenceSpec:
                 f"available: {tuple(sorted(ENGINE_BACKENDS))}",
                 field="engine",
             )
+        if self.num_shards is not None:
+            if self.engine != "sharded":
+                raise SpecError(
+                    "num_shards only applies to engine='sharded', "
+                    f"not {self.engine!r}",
+                    field="num_shards",
+                )
+            if self.num_shards < 1:
+                raise SpecError(
+                    f"num_shards must be >= 1, got {self.num_shards}",
+                    field="num_shards",
+                )
         if self.em_iterations <= 0:
             raise SpecError("em_iterations must be positive", field="em_iterations")
         if self.em_tolerance < 0:
@@ -210,6 +226,12 @@ class InferenceSpec:
         object.__setattr__(
             self, "mstep", _build_config(MStepConfig, self.mstep, "mstep")
         )
+
+    def engine_config(self):
+        """The :class:`~repro.inference.engine.EngineConfig` this spec names."""
+        from repro.inference.engine import EngineConfig
+
+        return EngineConfig(backend=self.engine, num_shards=self.num_shards)
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)

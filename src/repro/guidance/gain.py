@@ -28,6 +28,7 @@ configuration of Fig. 2).
 from __future__ import annotations
 
 import threading
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
@@ -71,7 +72,9 @@ class GainConfig:
             in mean-field mode (mutation-free, so candidates genuinely
             run concurrently); in Gibbs mode the hypothetical chains
             must pin labels in the shared database and are serialised by
-            a lock, so ``parallel`` buys nothing there.
+            a lock, so ``parallel`` buys nothing there —
+            :class:`GainEstimator` emits a :class:`RuntimeWarning`
+            explaining this instead of quietly running sequentially.
         max_workers: Thread-pool size when ``parallel`` is set.
     """
 
@@ -136,6 +139,17 @@ class GainEstimator:
         # shared database; the lock keeps parallel gain evaluation from
         # observing another candidate's hypothetical state.
         self._state_lock = threading.Lock()
+        if self._config.parallel and self._config.inference_mode == "gibbs":
+            warnings.warn(
+                "GainConfig(parallel=True) has no effect in Gibbs mode: "
+                "hypothetical chains pin labels in the shared database "
+                "and are serialised by a lock, so candidates run "
+                "sequentially despite the thread pool.  Use "
+                "inference_mode='meanfield' for parallel gain "
+                "evaluation, or drop parallel=True.",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     @property
     def config(self) -> GainConfig:

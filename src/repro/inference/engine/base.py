@@ -1,0 +1,184 @@
+"""Engine interface, backend registry and per-model memoisation.
+
+The concrete backends live in sibling modules (:mod:`.reference`,
+:mod:`.numpy_backend`, :mod:`.sharded`) and register themselves in
+:data:`ENGINE_BACKENDS` at import time; :mod:`repro.inference.engine`
+(the package ``__init__``) imports them all, so the registry is always
+fully populated before user code can construct an :class:`EngineConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Type, Union
+
+import numpy as np
+
+from repro.crf.model import CrfModel
+from repro.errors import InferenceError
+
+MStepData = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Backend selection for the inference hot path.
+
+    Attributes:
+        backend: Registered backend name; ``"numpy"`` (vectorised,
+            default), ``"reference"`` (scalar ground truth) or
+            ``"sharded"`` (multi-process partitioned sweeps).  Backends
+            register themselves in :data:`ENGINE_BACKENDS`.
+        num_shards: Worker-process count for the ``sharded`` backend.
+            ``None`` picks an automatic count from the host CPUs; ``1``
+            forces the in-process fast path (no worker pool).  Rejected
+            for any other backend.
+    """
+
+    backend: str = "numpy"
+    num_shards: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in ENGINE_BACKENDS:
+            raise InferenceError(
+                f"unknown engine backend {self.backend!r}; "
+                f"available: {tuple(sorted(ENGINE_BACKENDS))}"
+            )
+        if self.num_shards is not None:
+            if self.backend != "sharded":
+                raise InferenceError(
+                    "num_shards only applies to the 'sharded' backend, "
+                    f"not {self.backend!r}"
+                )
+            if self.num_shards < 1:
+                raise InferenceError(
+                    f"num_shards must be >= 1, got {self.num_shards}"
+                )
+
+    @property
+    def cache_key(self) -> str:
+        """Memoisation key: distinct shard counts get distinct engines."""
+        if self.backend == "sharded" and self.num_shards is not None:
+            return f"sharded[{self.num_shards}]"
+        return self.backend
+
+
+class InferenceEngine:
+    """Hot-path operations bound to one :class:`~repro.crf.model.CrfModel`.
+
+    An engine is stateless with respect to the Gibbs chain — all chain
+    state lives in the sampler — so one engine can safely serve several
+    samplers over the same model.
+    """
+
+    #: Registry name of the backend; subclasses override.
+    name = "abstract"
+
+    def __init__(
+        self, model: CrfModel, config: Optional[EngineConfig] = None
+    ) -> None:
+        self._model = model
+
+    @property
+    def model(self) -> CrfModel:
+        """The model whose structure is cached."""
+        return self._model
+
+    def refresh_structure(self) -> None:
+        """Re-derive cached structure after the model grows in place.
+
+        Called by :meth:`CrfModel.grow` on every memoised engine when a
+        streaming arrival extends the database.  The base implementation
+        is a no-op — backends that cache structure-derived arrays
+        override it.
+        """
+
+    def close(self) -> None:
+        """Release process-level resources (worker pools, handles).
+
+        Safe to call repeatedly; a closed engine stays usable — backends
+        that own pools rebuild them lazily on the next call.  The base
+        implementation is a no-op.
+        """
+
+    def sweep(
+        self,
+        free_claims: np.ndarray,
+        spins: np.ndarray,
+        stats: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        """One random-order sequential scan over the free claims.
+
+        Mutates ``spins`` and keeps ``stats`` (the per-source consistency
+        statistics ``A_s``) consistent with them.  Every backend consumes
+        the random stream identically: one permutation draw followed by
+        one uniform draw per free claim.
+        """
+        raise NotImplementedError
+
+    def assemble_mstep(
+        self, marginals: np.ndarray, config
+    ) -> Optional[MStepData]:
+        """Expected-statistics design ``(X, targets, weights)`` for TRON.
+
+        Labelled claims contribute one boosted row with their user label;
+        unlabelled claims contribute two fractional rows (target 1 with
+        weight ``q``, target 0 with weight ``1 - q``).  Returns ``None``
+        when no claim meets the coverage threshold.
+        """
+        raise NotImplementedError
+
+
+#: Registered engine backends, keyed by :attr:`InferenceEngine.name`.
+#: Populated by the backend modules at import time.
+ENGINE_BACKENDS: Dict[str, Type[InferenceEngine]] = {}
+
+
+def create_engine(
+    model: CrfModel,
+    config: Union[None, str, EngineConfig, "InferenceEngine"] = None,
+) -> InferenceEngine:
+    """Engine for ``model`` per the configured backend, memoised per model.
+
+    The memo lives on the model instance, so cached engines share the
+    model's lifetime, and :meth:`CrfModel.grow` can refresh every engine
+    of a streaming model in place when an arrival extends the structure.
+
+    Args:
+        model: The CRF model whose structure is cached.
+        config: ``None`` (default backend), a backend name, a full
+            :class:`EngineConfig`, or an already-built engine (returned
+            as-is after checking it is bound to ``model``).
+    """
+    if isinstance(config, InferenceEngine):
+        if config.model is not model:
+            raise InferenceError("engine is bound to a different model")
+        return config
+    if config is None:
+        config = EngineConfig()
+    elif isinstance(config, str):
+        config = EngineConfig(backend=config)
+    per_model: Optional[Dict[str, InferenceEngine]] = getattr(
+        model, "_engine_cache", None
+    )
+    if per_model is None:
+        per_model = {}
+        model._engine_cache = per_model  # type: ignore[attr-defined]
+    engine = per_model.get(config.cache_key)
+    if engine is None:
+        engine = ENGINE_BACKENDS[config.backend](model, config)
+        per_model[config.cache_key] = engine
+    return engine
+
+
+def release_model_engines(model: CrfModel) -> None:
+    """Close every engine memoised on ``model``.
+
+    Worker pools (the ``sharded`` backend) hold OS processes; sessions
+    and the service layer call this on close/eviction so pools never
+    outlive the session that spawned them.  Engines stay usable — a
+    closed engine rebuilds its pool lazily if swept again.
+    """
+    for engine in getattr(model, "_engine_cache", {}).values():
+        engine.close()

@@ -1,0 +1,20 @@
+"""Single-process vectorised backend (the default)."""
+
+from __future__ import annotations
+
+from repro.inference.engine.base import ENGINE_BACKENDS
+from repro.inference.engine.speculative import SpeculativeEngine
+
+
+class NumpyEngine(SpeculativeEngine):
+    """Blocked vectorised backend over cached evidence matrices.
+
+    Pure NumPy + the Python scan-merge walk — no compiler, no worker
+    processes.  The sharded backend layers a compiled merge kernel and a
+    process pool on the same :class:`SpeculativeEngine` core.
+    """
+
+    name = "numpy"
+
+
+ENGINE_BACKENDS[NumpyEngine.name] = NumpyEngine

@@ -1,0 +1,479 @@
+"""Shared speculative-batch sweep core for the vectorised backends.
+
+**Exact speculative-batch Gibbs sweeps.**  A sequential-scan Gibbs sweep
+draws its permutation and its uniform thresholds *before* the scan, so
+the random stream is fixed regardless of how the updates are executed.
+A claim's conditional depends on the rest of the configuration only
+through the per-source consistency statistics ``A_s``, and ``A_s`` only
+changes when a claim actually *flips*.  The speculative sweep exploits
+this: it computes every position's conditional in one batch against the
+sweep-start statistics — exact for every position not preceded by a flip
+touching one of its sources — and then walks the scan order with a
+per-source *delta* accumulator ``dA_s`` (how far each statistic has
+drifted from its sweep-start value).  A position whose correction term
+``Σ (stance/n_s)·dA_s`` is exactly zero commits the batch decision; a
+non-zero correction recomputes the conditional incrementally as
+``batch_logit + 2γ·correction``.
+
+The delta decomposition is *exact*, not approximate: stances and spins
+are ±1/0, so every ``A_s``, every flip delta and every ``dA_s`` is an
+integer-valued float far below 2⁵³ — ``A_s = A_s⁰ + dA_s`` holds
+bitwise, and the correction is zero exactly when the claim's statistics
+are untouched.  The recomputed logit and the scalar reference evaluate
+the same real number; their summation order and exp implementation can
+round differently by one ulp, which flips a decision only when a
+pre-drawn threshold falls inside that ulp (~1e-16 per draw — never
+observed; the golden fixtures and the hypothesis equivalence suite
+assert exact chain equality).
+
+The walk state is three flat CSR arrays per free-claim set (row
+pointers, compact local source ids, ``stance/n_s`` coefficients) — a
+vectorised gather over the cached pair CSR, built once per free set and
+shared by the pure-Python walk (:class:`NumpyEngine`) and the compiled
+kernel (:class:`ShardedEngine`, see :mod:`.ckernel`).
+
+**Cached evidence matrices.**  All structure-derived arrays — the
+claim-grouped (claim, source) pair table, the per-pair normalisers
+``n_s``, and the walk CSR — are computed once per model and reused
+across sweeps, EM rounds and validation iterations; pinning a user
+label or updating weights never invalidates them.  Streaming arrivals
+grow the model in place (:meth:`CrfModel.grow`), which calls
+:meth:`InferenceEngine.refresh_structure` on every memoised engine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.contracts import derived_cache, mutates
+from repro.crf.model import CrfModel
+from repro.crf.potentials import sigmoid
+from repro.inference.engine.base import EngineConfig, InferenceEngine, MStepData
+from repro.utils.arrays import concat_ranges
+
+
+def sigmoid_scalar(value: float) -> float:
+    """Numerically stable scalar logistic, for the incremental fixups."""
+    if value >= 0.0:
+        return 1.0 / (1.0 + math.exp(-value))
+    exp_value = math.exp(value)
+    return exp_value / (1.0 + exp_value)
+
+
+class SpeculativeEngine(InferenceEngine):
+    """Speculative-batch sweeps + vectorised M-step over cached gathers.
+
+    Subclasses plug into three extension points: :meth:`_speculate`
+    (where the batch conditionals are computed — in-process here,
+    scattered over a worker pool in the sharded backend),
+    :meth:`_scan_kernel` (an optional compiled scan-merge routine) and
+    :meth:`_on_structure_refresh` (structure-change notification).
+    """
+
+    def __init__(
+        self, model: CrfModel, config: Optional[EngineConfig] = None
+    ) -> None:
+        super().__init__(model, config)
+        self.refresh_structure()
+
+    @mutates("free_set_gather")
+    def refresh_structure(self) -> None:
+        """(Re)build the claim-grouped pair views from the model.
+
+        Runs at construction and again whenever a streaming arrival grows
+        the model in place; the free-set gather cache is dropped because
+        claim indices shift meaning when the structure changes.
+        """
+        model = self._model
+        # Claim-grouped view of the (claim, source) pair table: claim c's
+        # pair rows are the grouped slice ptr[c]:ptr[c + 1].
+        grouped = model.pair_order
+        self._ptr = model.pair_ptr
+        self._g_source = model.pair_source[grouped]
+        self._g_stance = model.pair_stance[grouped]
+        self._g_denom = np.maximum(
+            model.source_clique_count[self._g_source], 1.0
+        )
+        # Gathered-row cache keyed by the free-claim set: sample() runs
+        # many sweeps over the same free claims, so the scatter/gather
+        # index work is done once per set, not once per sweep.  Key and
+        # data live in one tuple so the swap is a single (GIL-atomic)
+        # attribute assignment — the engine is memoised per model and may
+        # be shared by samplers on different threads.
+        self._gather_state: Optional[Tuple[bytes, dict]] = None
+        self._on_structure_refresh()
+
+    def _on_structure_refresh(self) -> None:
+        """Hook for subclasses holding structure-bound resources."""
+
+    # ------------------------------------------------------------------
+    # Gibbs sweep
+    # ------------------------------------------------------------------
+
+    def sweep(
+        self,
+        free_claims: np.ndarray,
+        spins: np.ndarray,
+        stats: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        n = free_claims.size
+        order = rng.permutation(n)
+        thresholds = rng.random(n)
+        model = self._model
+        local_fields = model.local_fields
+        gamma = model.weights.coupling if model.coupling_enabled else 0.0
+
+        if gamma == 0.0:
+            # The conditionals decouple: the whole sweep is one batch.
+            scan = free_claims[order]
+            self._resample_block(
+                scan, thresholds[order], local_fields[scan], spins, stats
+            )
+            return
+
+        # Speculative batch: every conditional against sweep-start stats,
+        # in free-claim order (whose gather indices are cached).
+        logits, tentative, flip = self._speculate(
+            free_claims, spins, stats, thresholds, local_fields, gamma
+        )
+        if not flip.any():
+            return
+        self._merge_scan(
+            free_claims, order, thresholds, logits, tentative, flip,
+            2.0 * gamma, spins, stats,
+        )
+
+    def _speculate(
+        self,
+        free_claims: np.ndarray,
+        spins: np.ndarray,
+        stats: np.ndarray,
+        thresholds: np.ndarray,
+        local_fields: np.ndarray,
+        gamma: float,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batch conditionals against sweep-start stats, free-claim order.
+
+        Returns ``(logits, tentative, flip)`` indexed by free position:
+        the speculative logit, the spin the pre-drawn threshold selects
+        from it, and whether that spin differs from the current one.
+        """
+        n = free_claims.size
+        f_source, f_stance, f_denom, f_segment, f_counts = self._gathered(
+            free_claims
+        )
+        own = f_stance * np.repeat(spins[free_claims], f_counts)
+        contributions = f_stance * (stats[f_source] - own) / f_denom
+        sums = np.bincount(f_segment, weights=contributions, minlength=n)
+        logits = local_fields[free_claims] + (2.0 * gamma) * sums
+        probabilities = sigmoid(logits)
+        tentative = np.where(thresholds < probabilities, 1.0, -1.0)
+        flip = tentative != spins[free_claims]
+        return logits, tentative, flip
+
+    def _scan_kernel(self):
+        """Compiled scan-merge routine, or ``None`` for the Python walk."""
+        return None
+
+    def _merge_scan(
+        self,
+        free_claims: np.ndarray,
+        order: np.ndarray,
+        thresholds: np.ndarray,
+        logits: np.ndarray,
+        tentative: np.ndarray,
+        flip: np.ndarray,
+        two_gamma: float,
+        spins: np.ndarray,
+        stats: np.ndarray,
+    ) -> None:
+        """Scan-order merge of the speculative decisions.
+
+        Walks ``order`` with the per-source delta accumulator described
+        in the module docstring, committing batch decisions whose
+        correction is exactly zero and recomputing the rest from
+        ``batch_logit + 2γ·correction``.  Flips are applied to ``spins``
+        and ``A_s`` is patched exactly (integer-valued delta adds).
+        """
+        walk = self._walk_arrays(free_claims)
+        touched = walk["touched"]
+        kernel = self._scan_kernel()
+        if kernel is not None:
+            from repro.inference.engine.ckernel import run_scan_merge
+
+            spins_free = np.ascontiguousarray(
+                spins[free_claims], dtype=np.float64
+            )
+            dstats = np.zeros(touched.size)
+            changed = run_scan_merge(
+                kernel,
+                np.ascontiguousarray(order, dtype=np.int64),
+                np.ascontiguousarray(thresholds, dtype=np.float64),
+                np.ascontiguousarray(logits, dtype=np.float64),
+                np.ascontiguousarray(tentative, dtype=np.float64),
+                np.ascontiguousarray(flip, dtype=np.uint8),
+                two_gamma,
+                walk["row_ptr"],
+                walk["col"],
+                walk["coef"],
+                walk["stance"],
+                spins_free,
+                dstats,
+            )
+            if changed:
+                spins[free_claims] = spins_free
+                stats[touched] += dstats
+            return
+
+        lists = walk.get("lists")
+        if lists is None:
+            lists = (
+                walk["row_ptr"].tolist(),
+                walk["col"].tolist(),
+                walk["coef"].tolist(),
+                walk["stance"].tolist(),
+            )
+            walk["lists"] = lists
+        row_ptr_l, col_l, coef_l, stance_l = lists
+        order_l = order.tolist()
+        thresholds_l = thresholds.tolist()
+        logits_l = logits.tolist()
+        tentative_l = tentative.tolist()
+        flip_l = flip.tolist()
+        spins_l = spins[free_claims].tolist()
+        dstats = [0.0] * touched.size
+        changed = False
+        for position in range(len(order_l)):
+            free_index = order_l[position]
+            row_start = row_ptr_l[free_index]
+            row_end = row_ptr_l[free_index + 1]
+            correction = 0.0
+            for row in range(row_start, row_end):
+                correction += coef_l[row] * dstats[col_l[row]]
+            old_spin = spins_l[free_index]
+            if correction == 0.0:
+                if not flip_l[free_index]:
+                    continue
+                new_spin = tentative_l[free_index]
+            else:
+                probability = sigmoid_scalar(
+                    logits_l[free_index] + two_gamma * correction
+                )
+                new_spin = (
+                    1.0 if thresholds_l[free_index] < probability else -1.0
+                )
+                if new_spin == old_spin:
+                    continue
+            delta = new_spin - old_spin
+            for row in range(row_start, row_end):
+                dstats[col_l[row]] += stance_l[row] * delta
+            spins_l[free_index] = new_spin
+            changed = True
+        if changed:
+            spins[free_claims] = spins_l
+            stats[touched] += np.asarray(dstats)
+
+    def _gathered(
+        self, free_claims: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Cached gathered pair rows of the free-claim set.
+
+        Returns ``(source, stance, denom, segment, counts)`` where the
+        first three are the concatenated evidence rows of the free claims
+        in order, ``segment`` maps each row to its free-claim position,
+        and ``counts`` is rows per free claim.
+        """
+        return self._free_set_cache(free_claims)["batch"]
+
+    def _walk_arrays(self, free_claims: np.ndarray) -> dict:
+        """Flat CSR walk state of the free set (vectorised gather).
+
+        ``touched`` holds the sorted global ids of every source the free
+        claims can dirty; ``row_ptr``/``col``/``coef``/``stance`` are the
+        evidence rows remapped to compact local source ids, with
+        ``coef = stance / n_s`` prefolded so the walk's correction term
+        is one multiply-add per row.  Built lazily (batch-only sweeps
+        never pay for it) and cached with the free set.
+        """
+        cache = self._free_set_cache(free_claims)
+        walk = cache.get("walk")
+        if walk is None:
+            f_source, f_stance, f_denom, _, f_counts = cache["batch"]
+            touched, local_ids = np.unique(f_source, return_inverse=True)
+            row_ptr = np.concatenate(
+                ([0], np.cumsum(f_counts, dtype=np.int64))
+            )
+            walk = {
+                "touched": touched,
+                "row_ptr": np.ascontiguousarray(row_ptr, dtype=np.int64),
+                "col": np.ascontiguousarray(local_ids, dtype=np.int64),
+                "coef": np.ascontiguousarray(
+                    f_stance / f_denom, dtype=np.float64
+                ),
+                "stance": np.ascontiguousarray(f_stance, dtype=np.float64),
+            }
+            cache["walk"] = walk
+        return walk
+
+    @derived_cache(
+        "free_set_gather",
+        backing=("_ptr", "_g_source", "_g_stance", "_g_denom"),
+        storage="_gather_state",
+    )
+    def _free_set_cache(self, free_claims: np.ndarray) -> dict:
+        """Cache entry of the free-claim set (atomic whole-dict swap)."""
+        key = free_claims.tobytes()
+        state = self._gather_state
+        if state is None or state[0] != key:
+            ptr = self._ptr
+            starts = ptr[free_claims]
+            counts = ptr[free_claims + 1] - starts
+            gathered = concat_ranges(starts, counts)
+            state = (
+                key,
+                {
+                    "batch": (
+                        self._g_source[gathered],
+                        self._g_stance[gathered],
+                        self._g_denom[gathered],
+                        np.repeat(np.arange(free_claims.size), counts),
+                        counts,
+                    ),
+                },
+            )
+            self._gather_state = state
+        return state[1]
+
+    def _resample_block(
+        self,
+        block: np.ndarray,
+        thresholds: np.ndarray,
+        logits: np.ndarray,
+        spins: np.ndarray,
+        stats: np.ndarray,
+    ) -> None:
+        """Resample a batch of claims from precomputed logits.
+
+        Flips are applied to ``spins`` and ``A_s`` is patched to stay
+        consistent with them.
+        """
+        probabilities = sigmoid(logits)
+        new_spins = np.where(thresholds < probabilities, 1.0, -1.0)
+        old_spins = spins[block]
+        flipped = new_spins != old_spins
+        if not flipped.any():
+            return
+        delta = new_spins[flipped] - old_spins[flipped]
+        changed = block[flipped]
+        ptr = self._ptr
+        starts = ptr[changed]
+        counts = ptr[changed + 1] - starts
+        rows = concat_ranges(starts, counts)
+        if rows.size:
+            np.add.at(
+                stats,
+                self._g_source[rows],
+                self._g_stance[rows] * np.repeat(delta, counts),
+            )
+        spins[changed] = new_spins[flipped]
+
+    # ------------------------------------------------------------------
+    # M-step design assembly
+    # ------------------------------------------------------------------
+
+    def assemble_mstep(
+        self, marginals: np.ndarray, config
+    ) -> Optional[MStepData]:
+        from repro.inference.mstep import build_design_matrix
+
+        model = self._model
+        design_all = build_design_matrix(model, marginals)
+        label_indices, label_values = model.database.label_arrays()
+        assembled = assemble_design_range(
+            model, design_all, marginals, 0, model.database.num_claims,
+            label_indices, label_values,
+            config.min_coverage, config.labelled_weight,
+        )
+        if assembled[0].shape[0] == 0:
+            return None
+        return assembled
+
+
+def assemble_design_range(
+    model: CrfModel,
+    design_rows: np.ndarray,
+    marginals: np.ndarray,
+    lo: int,
+    hi: int,
+    label_indices: np.ndarray,
+    label_values: np.ndarray,
+    min_coverage: int,
+    labelled_weight: float,
+) -> MStepData:
+    """Design/target/weight rows of claims ``[lo, hi)``, reference layout.
+
+    ``design_rows`` holds the per-claim design rows of exactly that
+    range.  The row layout matches the scalar reference restricted to
+    the range — claims in index order, one row per labelled claim, a
+    (target 1, target 0) pair per unlabelled claim — so concatenating
+    contiguous ranges in order reproduces the full assembly bitwise.
+    Returns empty arrays (never ``None``) when no claim is covered.
+    """
+    num_claims = model.database.num_claims
+    covered = lo + np.flatnonzero(
+        model.featurizer.claim_degree[lo:hi] >= min_coverage
+    )
+    is_labelled = np.zeros(num_claims, dtype=bool)
+    is_labelled[label_indices] = True
+    label_of = np.zeros(num_claims)
+    label_of[label_indices] = label_values
+
+    repeats = np.where(is_labelled[covered], 1, 2)
+    row_claims = np.repeat(covered, repeats)
+    design = design_rows[row_claims - lo]
+    ends = np.cumsum(repeats)
+    second_rows = ends[repeats == 2] - 1
+    targets = np.ones(row_claims.size)
+    targets[second_rows] = 0.0
+    weights = np.asarray(marginals, dtype=float)[row_claims].copy()
+    weights[second_rows] = 1.0 - weights[second_rows]
+    labelled_rows = is_labelled[row_claims]
+    targets[labelled_rows] = label_of[row_claims][labelled_rows]
+    weights[labelled_rows] = labelled_weight
+    return design, targets, weights
+
+
+def trust_signal_range(
+    model: CrfModel,
+    marginals: np.ndarray,
+    stats: np.ndarray,
+    lo: int,
+    hi: int,
+) -> np.ndarray:
+    """Trust signals of claims ``[lo, hi)`` from precomputed global stats.
+
+    Mirrors :meth:`CrfModel.trust_signals` with the expected-spin source
+    statistics (a global reduction) supplied by the caller, so shards
+    can evaluate their claim ranges independently yet bitwise-identically
+    to the unsharded computation: ``pair_claim`` is sorted, making each
+    range a contiguous row slice whose per-claim accumulation order
+    matches the global ``np.add.at``.
+    """
+    spins = 2.0 * np.asarray(marginals, dtype=float) - 1.0
+    row_lo, row_hi = np.searchsorted(model.pair_claim, [lo, hi])
+    claim = model.pair_claim[row_lo:row_hi]
+    stance = model.pair_stance[row_lo:row_hi]
+    source = model.pair_source[row_lo:row_hi]
+    own = stance * spins[claim]
+    excluded = stats[source] - own
+    denominators = np.maximum(model.source_clique_count[source], 1.0)
+    contributions = 2.0 * stance * excluded / denominators
+    signals = np.zeros(hi - lo)
+    np.add.at(signals, claim - lo, contributions)
+    if not model.coupling_enabled:
+        signals[:] = 0.0
+    return signals

@@ -403,6 +403,11 @@ class StreamingFactChecker:
             raise StreamingError("no arrivals processed yet")
         return self._database
 
+    @property
+    def model(self) -> Optional[CrfModel]:
+        """Snapshot CRF model, or ``None`` before the first arrival."""
+        return self._model
+
     # ------------------------------------------------------------------
     # Alg. 2 main loop body
     # ------------------------------------------------------------------

@@ -21,7 +21,7 @@ from repro.streaming import stream_from_database
 
 from tests.fixtures import build_micro_database
 
-ENGINES = ("numpy", "reference")
+ENGINES = ("numpy", "reference", "sharded")
 
 
 def batch_spec(engine: str) -> SessionSpec:

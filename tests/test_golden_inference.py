@@ -40,7 +40,7 @@ from tests.fixtures import build_micro_database
 GOLDEN_DIR = Path(__file__).parent / "golden"
 WEIGHT_TOLERANCE = 1e-8
 
-BACKENDS = ("reference", "numpy")
+BACKENDS = ("reference", "numpy", "sharded")
 
 
 def _micro_icrf_outputs(backend: str) -> dict:
