@@ -1,0 +1,211 @@
+"""Performance-regression benchmark of batched gain evaluation (§5.1).
+
+The batch-selection hot path evaluates IG(c) for every candidate of a
+guidance round — two hypothetical inference runs per candidate plus a
+shared per-component baseline.  ``GainConfig(parallel=True)`` must beat
+the sequential path by the recorded margin on the full candidate pool in
+Gibbs mode: candidates run snapshot-isolated on worker-local engines
+backed by the compiled merge kernel, so the win holds even on a single
+core (and grows with cores, since the kernel sweeps release the GIL).
+Mean-field timings are reported for visibility but carry no floor — the
+pure-numpy fixed point is GIL-bound, so single-core thread dispatch is
+roughly break-even there.
+
+Modes
+-----
+* default — full measurement (best of 3), asserts the hard floor (2×)
+  and the baseline-relative bound on the Gibbs-mode speedup.
+* ``PERF_SMOKE=1`` — 2 repetitions and a relaxed floor, for CI.
+* ``PERF_RECORD=1`` — re-records the ``gain_parallel_*`` keys of
+  ``benchmarks/perf_baseline.json`` (use after intentional changes).
+
+Every run writes ``benchmarks/results/perf_gain.txt`` with the raw
+numbers, and always cross-checks that parallel and sequential evaluation
+produce *identical* gains in both inference modes — a perf win that
+changes results would be a bug, not a win.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.crf.model import CrfModel
+from repro.crf.partition import ComponentIndex
+from repro.crf.weights import CrfWeights
+from repro.datasets import load_dataset
+from repro.guidance.gain import GainConfig, GainEstimator
+
+BASELINE_PATH = Path(__file__).parent / "perf_baseline.json"
+RESULTS_PATH = Path(__file__).parent / "results" / "perf_gain.txt"
+
+#: Guidance-round scale: large enough that hypothetical chains dominate
+#: the round (the regime batch selection actually runs in).
+SCALE = 2.0
+DATASET_SEED = 42
+GAIN_SEED = 1
+MAX_WORKERS = 4
+
+SMOKE = bool(os.environ.get("PERF_SMOKE"))
+RECORD = bool(os.environ.get("PERF_RECORD"))
+REPEATS = 2 if SMOKE else 3
+#: Hard floor on the Gibbs-mode parallel speedup (acceptance: ≥ 2×).
+HARD_FLOOR = 1.2 if SMOKE else 2.0
+#: Fraction of the recorded baseline speedup that must be retained.
+BASELINE_FRACTION = 0.5
+
+
+def _best_of(callable_, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _nontrivial_weights(database) -> CrfWeights:
+    rng = np.random.default_rng(17)
+    size = 2 + database.document_features.shape[1] \
+        + database.source_features.shape[1]
+    values = 0.4 * rng.normal(size=size)
+    values[-1] = 0.3  # non-zero coupling exercises the coupled sweep path
+    return CrfWeights(values)
+
+
+def _gain_round(mode: str, parallel: bool):
+    """Timed unit: IG_C over the full candidate pool of one round."""
+    database = load_dataset("wiki", seed=DATASET_SEED, scale=SCALE)
+    model = CrfModel(database, weights=_nontrivial_weights(database))
+    estimator = GainEstimator(
+        model,
+        ComponentIndex(database),
+        config=GainConfig(
+            inference_mode=mode, parallel=parallel, max_workers=MAX_WORKERS
+        ),
+        seed=GAIN_SEED,
+    )
+    candidates = database.unlabelled_indices
+    estimator.information_gains(candidates)  # warm-up: caches + engines
+    elapsed = _best_of(lambda: estimator.information_gains(candidates))
+    gains = estimator.information_gains(candidates)
+    estimator.close()
+    return elapsed, gains
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    gibbs_seq, gains_gibbs_seq = _gain_round("gibbs", parallel=False)
+    gibbs_par, gains_gibbs_par = _gain_round("gibbs", parallel=True)
+    mf_seq, gains_mf_seq = _gain_round("meanfield", parallel=False)
+    mf_par, gains_mf_par = _gain_round("meanfield", parallel=True)
+    data = {
+        "gibbs": {"sequential": gibbs_seq, "parallel": gibbs_par,
+                  "speedup": gibbs_seq / gibbs_par},
+        "meanfield": {"sequential": mf_seq, "parallel": mf_par,
+                      "speedup": mf_seq / mf_par},
+        "num_candidates": int(gains_gibbs_seq.size),
+        "equivalent": {
+            "gibbs": bool(np.array_equal(gains_gibbs_seq, gains_gibbs_par)),
+            "meanfield": bool(np.array_equal(gains_mf_seq, gains_mf_par)),
+        },
+    }
+    _write_results(data)
+    if RECORD:
+        _record_baseline(data)
+    return data
+
+
+def _write_results(data) -> None:
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    lines = [
+        "Batched gain-evaluation benchmark "
+        f"(wiki scale={SCALE}, seed={DATASET_SEED}, "
+        f"{data['num_candidates']} candidates, best of {REPEATS}"
+        f"{', smoke' if SMOKE else ''})",
+        "",
+        f"{'unit':<28}{'sequential':>12}{'parallel':>12}{'speedup':>10}",
+        f"{'gibbs gain round':<28}"
+        f"{data['gibbs']['sequential'] * 1e3:>10.2f}ms"
+        f"{data['gibbs']['parallel'] * 1e3:>10.2f}ms"
+        f"{data['gibbs']['speedup']:>9.2f}x",
+        f"{'meanfield gain round':<28}"
+        f"{data['meanfield']['sequential'] * 1e3:>10.2f}ms"
+        f"{data['meanfield']['parallel'] * 1e3:>10.2f}ms"
+        f"{data['meanfield']['speedup']:>9.2f}x",
+        "",
+        "bit-for-bit equivalence: "
+        f"gibbs={'ok' if data['equivalent']['gibbs'] else 'FAIL'} "
+        f"meanfield={'ok' if data['equivalent']['meanfield'] else 'FAIL'}",
+        "",
+        "(meanfield is informational: the numpy fixed point is GIL-bound,",
+        " so thread dispatch is break-even on one core; the gibbs floor is",
+        " the guarded quantity.)",
+        "",
+    ]
+    RESULTS_PATH.write_text("\n".join(lines), encoding="utf-8")
+    print("\n".join(lines))
+
+
+def _record_baseline(data) -> None:
+    # Merge into the shared baseline file: the inference and streaming
+    # benchmarks keep their keys there too, and re-recording one
+    # benchmark must not drop the others' records.
+    payload = (
+        json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+        if BASELINE_PATH.exists()
+        else {}
+    )
+    payload.update(
+        {
+            "gain_parallel_scale": SCALE,
+            "gain_parallel_candidates": data["num_candidates"],
+            "gain_parallel_speedup": round(data["gibbs"]["speedup"], 2),
+            "gain_parallel_meanfield_speedup": round(
+                data["meanfield"]["speedup"], 2
+            ),
+            "gain_re_record": "PERF_RECORD=1 PYTHONPATH=src python -m "
+                              "pytest benchmarks/test_perf_gain.py",
+        }
+    )
+    BASELINE_PATH.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def _baseline():
+    if not BASELINE_PATH.exists():
+        pytest.fail(
+            f"{BASELINE_PATH} missing; record it with PERF_RECORD=1"
+        )
+    return json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+
+
+def _floor(baseline_speedup: float) -> float:
+    """Required speedup: in smoke mode only the relaxed hard floor
+    applies (CI runners are too noisy for baseline-relative bounds)."""
+    if SMOKE:
+        return HARD_FLOOR
+    return max(HARD_FLOOR, baseline_speedup * BASELINE_FRACTION)
+
+
+class TestBitForBitEquivalence:
+    def test_parallel_gains_identical_to_sequential(self, measurements):
+        assert measurements["equivalent"]["gibbs"]
+        assert measurements["equivalent"]["meanfield"]
+
+
+class TestGainParallelRegression:
+    def test_gibbs_parallel_speedup(self, measurements):
+        """Acceptance criterion: gibbs-mode parallel=True ≥ 2×."""
+        floor = _floor(_baseline()["gain_parallel_speedup"])
+        assert measurements["gibbs"]["speedup"] >= floor, (
+            f"gibbs gain-round speedup "
+            f"{measurements['gibbs']['speedup']:.2f}x fell below "
+            f"{floor:.2f}x"
+        )

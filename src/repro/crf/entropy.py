@@ -92,7 +92,11 @@ def exact_entropy(
     return total
 
 
-def component_entropy(model: CrfModel, free_claims: np.ndarray) -> float:
+def component_entropy(
+    model: CrfModel,
+    free_claims: np.ndarray,
+    probabilities: Optional[np.ndarray] = None,
+) -> float:
     """Exact joint entropy of the free claims of one component (nats).
 
     Enumerates all ``2^k`` configurations of the free claims with every
@@ -102,6 +106,14 @@ def component_entropy(model: CrfModel, free_claims: np.ndarray) -> float:
     to the involved sources' consistency statistics vary across
     configurations, so the whole batch of log-potentials is computed with
     a handful of matrix operations instead of ``2^k`` joint evaluations.
+
+    Args:
+        model: The CRF model supplying fields, couplings, and labels.
+        free_claims: Claims enumerated over (all others held fixed).
+        probabilities: Marginals the fixed claims are thresholded from;
+            defaults to the database's current probabilities.  Gain
+            evaluation passes its hypothetical marginals here so the
+            database never has to be mutated to measure an entropy.
     """
     free_claims = np.asarray(free_claims, dtype=np.intp)
     k = free_claims.size
@@ -113,7 +125,9 @@ def component_entropy(model: CrfModel, free_claims: np.ndarray) -> float:
             f"{MAX_EXACT_COMPONENT}"
         )
     database = model.database
-    base = (np.asarray(database.probabilities) >= 0.5).astype(float)
+    if probabilities is None:
+        probabilities = database.probabilities
+    base = (np.asarray(probabilities) >= 0.5).astype(float)
     label_indices, label_values = database.label_arrays()
     if label_indices.size:
         base[label_indices] = label_values

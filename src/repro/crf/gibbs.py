@@ -139,19 +139,23 @@ class GibbsSampler:
         )
         set_rng_state(self._rng, state["rng"])
 
-    def _initial_spins(self) -> np.ndarray:
+    def _initial_spins(self, state) -> np.ndarray:
         """Draw an initial configuration from the current marginals."""
-        probabilities = self._model.database.probabilities
+        probabilities = state.probabilities
         draws = self._rng.random(probabilities.size) < probabilities
         return np.where(draws, 1.0, -1.0)
 
-    def _pin_labels(self, spins: np.ndarray) -> None:
+    def _pin_labels(self, spins: np.ndarray, state) -> None:
         """Force labelled claims to their user-provided value."""
-        indices, values = self._model.database.label_arrays()
+        indices, values = state.label_arrays()
         if indices.size:
             spins[indices] = np.where(values > 0, 1.0, -1.0)
 
-    def sample(self, claim_subset: Optional[np.ndarray] = None) -> GibbsResult:
+    def sample(
+        self,
+        claim_subset: Optional[np.ndarray] = None,
+        overlay=None,
+    ) -> GibbsResult:
         """Run the chain and collect samples.
 
         Args:
@@ -159,17 +163,25 @@ class GibbsSampler:
                 all others stay fixed — the localisation used for
                 component-restricted inference (§5.1).  Defaults to all
                 unlabelled claims.
+            overlay: Optional read-only state view (probabilities, label
+                arrays) substituted for the model's database — e.g. a
+                :class:`~repro.guidance.gain.HypotheticalView` pinning a
+                hypothetical label without mutating the shared database.
+                The chain consumes the generator exactly as it would with
+                the database mutated to the same state, so overlay-based
+                and mutate-and-restore evaluation are bit-for-bit
+                interchangeable.
 
         Returns:
             A :class:`GibbsResult`; marginals of claims outside the subset
-            are taken from the database unchanged.
+            are taken from the database (or overlay) unchanged.
         """
-        database = self._model.database
+        database = overlay if overlay is not None else self._model.database
         warm = self._spins is not None
         if self._spins is None or self._spins.size != database.num_claims:
-            self._spins = self._initial_spins()
+            self._spins = self._initial_spins(database)
         spins = self._spins
-        self._pin_labels(spins)
+        self._pin_labels(spins, database)
 
         if claim_subset is None:
             free_claims = database.unlabelled_indices

@@ -155,6 +155,9 @@ class FactDatabase:
         self._bipartite_cache: Optional[
             Tuple[List[np.ndarray], List[np.ndarray]]
         ] = None
+        self._bipartite_csr_cache: Optional[
+            Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = None
 
         self._prior = float(prior)
         self._probabilities = np.full(len(self._claims), self._prior, dtype=float)
@@ -165,7 +168,7 @@ class FactDatabase:
     # Construction helpers
     # ------------------------------------------------------------------
 
-    @mutates("cliques", "adjacency", "bipartite")
+    @mutates("cliques", "adjacency", "bipartite", "bipartite_csr")
     def _build_cliques(self) -> None:
         claim_arr: List[int] = []
         document_arr: List[int] = []
@@ -245,6 +248,7 @@ class FactDatabase:
         self._cliques_cache = None
         self._adjacency_cache = None
         self._bipartite_cache = None
+        self._bipartite_csr_cache = None
 
     def _invalidate_label_arrays(self) -> None:
         self._label_arrays = None
@@ -253,7 +257,7 @@ class FactDatabase:
     # Incremental growth (§7)
     # ------------------------------------------------------------------
 
-    @mutates("cliques", "adjacency", "bipartite")
+    @mutates("cliques", "adjacency", "bipartite", "bipartite_csr")
     def extend(
         self,
         sources: Sequence[Source] = (),
@@ -719,6 +723,61 @@ class FactDatabase:
     def claims_of_source(self, source_index: int) -> np.ndarray:
         """C_s: indices of claims connected to the source (Eq. 17)."""
         return self._bipartite_adjacency()[1][source_index]
+
+    @derived_cache(
+        "bipartite_csr",
+        backing=(
+            "_clique_claim_arr",
+            "_clique_source_arr",
+            "_clique_buffers",
+        ),
+        hook="_invalidate_structure_caches",
+        storage="_bipartite_csr_cache",
+    )
+    def bipartite_csr(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Flat CSR form of the claim–source bipartite graph.
+
+        Returns ``(claim_ptr, claim_sources, source_ptr, source_claims)``:
+        claim ``c``'s sources are ``claim_sources[claim_ptr[c]:
+        claim_ptr[c + 1]]`` and source ``s``'s claims (``C_s``, Eq. 17)
+        are ``source_claims[source_ptr[s]:source_ptr[s + 1]]``, each in
+        ascending index order — the vectorised counterpart of
+        :meth:`sources_of_claim`/:meth:`claims_of_source`, built once per
+        structure for grouped reductions (``np.bincount``/``np.add.at``)
+        over whole source neighbourhoods.
+        """
+        if self._bipartite_csr_cache is None:
+            claim_sources, source_claims = self._bipartite_adjacency()
+            claim_counts = np.asarray(
+                [members.size for members in claim_sources], dtype=np.intp
+            )
+            source_counts = np.asarray(
+                [members.size for members in source_claims], dtype=np.intp
+            )
+            claim_ptr = np.concatenate(
+                ([0], np.cumsum(claim_counts))
+            ).astype(np.intp)
+            source_ptr = np.concatenate(
+                ([0], np.cumsum(source_counts))
+            ).astype(np.intp)
+            flat_sources = (
+                np.concatenate(claim_sources)
+                if claim_sources
+                else np.empty(0, dtype=np.intp)
+            ).astype(np.intp)
+            flat_claims = (
+                np.concatenate(source_claims)
+                if source_claims
+                else np.empty(0, dtype=np.intp)
+            ).astype(np.intp)
+            for array in (claim_ptr, source_ptr, flat_sources, flat_claims):
+                array.flags.writeable = False
+            self._bipartite_csr_cache = (
+                claim_ptr, flat_sources, source_ptr, flat_claims
+            )
+        return self._bipartite_csr_cache
 
     def connected_components(self) -> List[np.ndarray]:
         """Partition claims into CRF connected components (§5.1).

@@ -30,7 +30,11 @@ import numpy as np
 from repro.crf.entropy import binary_entropy
 from repro.data.database import FactDatabase
 from repro.errors import GuidanceError
-from repro.guidance.gain import GainEstimator, marginal_entropy_ranking
+from repro.guidance.gain import (
+    GainEstimator,
+    StateSnapshot,
+    marginal_entropy_ranking,
+)
 
 
 @dataclass
@@ -212,6 +216,12 @@ def exact_batch_gain(
     by its probability under the current (independent) marginals, runs the
     light hypothetical inference for each, and averages the resulting
     entropies.  Exponential in ``len(claims)``.
+
+    Every configuration is evaluated as a multi-pin overlay on one state
+    snapshot — the database is never mutated, and the numbers match the
+    historical label/restore enumeration exactly (a pinned claim starts
+    the fixed point at its pinned value and is excluded from the free
+    set, which is precisely what labelling it produced).
     """
     claims = [int(c) for c in claims]
     if not claims:
@@ -229,21 +239,16 @@ def exact_batch_gain(
 
     current_entropy = float(binary_entropy(probabilities[scope_array]).sum())
     conditional = 0.0
-    snapshot = database.clone_state()
-    try:
-        for values in itertools.product((0, 1), repeat=len(claims)):
-            weight = 1.0
-            for claim, value in zip(claims, values):
-                p = float(probabilities[claim])
-                weight *= p if value == 1 else (1.0 - p)
-            if weight == 0.0:
-                continue
-            for claim, value in zip(claims, values):
-                database.label(claim, value)
-            marginals = gains._mean_field(scope_array)
-            entropy = float(binary_entropy(marginals[scope_array]).sum())
-            conditional += weight * entropy
-            database.restore_state(snapshot)
-    finally:
-        database.restore_state(snapshot)
+    snapshot = StateSnapshot.capture(database)
+    for values in itertools.product((0, 1), repeat=len(claims)):
+        weight = 1.0
+        for claim, value in zip(claims, values):
+            p = float(probabilities[claim])
+            weight *= p if value == 1 else (1.0 - p)
+        if weight == 0.0:
+            continue
+        pins = dict(zip(claims, values))
+        marginals = gains._mean_field(scope_array, pins=pins, state=snapshot)
+        entropy = float(binary_entropy(marginals[scope_array]).sum())
+        conditional += weight * entropy
     return current_entropy - conditional

@@ -1,0 +1,114 @@
+"""Cross-iteration gain caching keyed by component generations (§5.1).
+
+With ``localize=True`` a candidate's gain is a function of its connected
+component's state only: hypothetical input on ``c`` cannot move marginals
+across component boundaries, so a cached gain stays valid until either a
+label lands in the candidate's component or the model weights change
+(re-training shifts every marginal).  :class:`ComponentGainCache` tracks
+both: a generation counter per component, bumped whenever the observed
+label set changes inside it, and a weights fingerprint that clears the
+whole cache on mismatch.
+
+The cache makes repeated gain queries inside one guidance round — greedy
+batch selection, strategy ranking, skip-handling re-ranks — evaluate each
+candidate once, and across rounds re-evaluates only the components the
+previous batch actually touched.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Mapping, Optional, Tuple
+
+
+class ComponentGainCache:
+    """Per-component generation counters over cached candidate gains.
+
+    Thread-safe: the parallel executor stores values from worker threads.
+    """
+
+    #: Runtime-only acceleration structure: dropped and rebuilt from the
+    #: database on resume, never part of a checkpoint.
+    _STATE_EXCLUDED = (
+        "_lock",
+        "_generations",
+        "_values",
+        "_seen_labels",
+        "_weights_token",
+        "hits",
+        "misses",
+        "invalidations",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._generations: dict = {}
+        # (claim, source_driven) -> (component generation, gain)
+        self._values: dict = {}
+        self._seen_labels: Optional[frozenset] = None
+        self._weights_token: Optional[bytes] = None
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def sync(
+        self,
+        labels: Mapping[int, int],
+        component_of: Callable[[int], int],
+        weights_token: bytes,
+    ) -> None:
+        """Observe the current labels/weights and dirty what they moved.
+
+        Args:
+            labels: The database's current label mapping.
+            component_of: Maps a claim index to its component key.
+            weights_token: Fingerprint of the model weights; any change
+                clears the cache entirely.
+        """
+        with self._lock:
+            current = frozenset(labels)
+            if self._weights_token != weights_token:
+                if self._weights_token is not None:
+                    self.invalidations += 1
+                self._weights_token = weights_token
+                self._generations.clear()
+                self._values.clear()
+                self._seen_labels = current
+                return
+            if self._seen_labels is None:
+                self._seen_labels = current
+                return
+            changed = current ^ self._seen_labels
+            for claim in changed:
+                component = component_of(int(claim))
+                self._generations[component] = (
+                    self._generations.get(component, 0) + 1
+                )
+                self.invalidations += 1
+            self._seen_labels = current
+
+    def generation(self, component: int) -> int:
+        """Current generation counter of a component."""
+        with self._lock:
+            return self._generations.get(component, 0)
+
+    def lookup(
+        self, claim: int, source_driven: bool, component: int
+    ) -> Optional[float]:
+        """Cached gain for the candidate, or ``None`` when dirty/missing."""
+        key = (int(claim), bool(source_driven))
+        with self._lock:
+            entry: Optional[Tuple[int, float]] = self._values.get(key)
+            if entry is None or entry[0] != self._generations.get(component, 0):
+                self.misses += 1
+                return None
+            self.hits += 1
+            return entry[1]
+
+    def store(
+        self, claim: int, source_driven: bool, component: int, value: float
+    ) -> None:
+        """Record an evaluated gain under the component's generation."""
+        key = (int(claim), bool(source_driven))
+        with self._lock:
+            self._values[key] = (self._generations.get(component, 0), value)

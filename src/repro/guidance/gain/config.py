@@ -1,0 +1,85 @@
+"""Configuration of information-gain evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GuidanceError
+
+#: Supported hypothetical-inference modes.
+INFERENCE_MODES = ("meanfield", "gibbs")
+#: Supported entropy estimators.
+ENTROPY_METHODS = ("approx", "exact")
+
+
+@dataclass
+class GainConfig:
+    """Configuration of information-gain evaluation.
+
+    Attributes:
+        inference_mode: ``"meanfield"`` or ``"gibbs"`` hypothetical updates.
+        entropy_method: ``"approx"`` (Eq. 13) or ``"exact"`` (component
+            enumeration with fallback to the approximation).
+        localize: Restrict hypothetical inference and entropy differences
+            to the candidate's connected component (§5.1).
+        meanfield_steps: Fixed-point iterations in mean-field mode.
+        damping: Mean-field damping factor in [0, 1); higher is smoother.
+        gibbs_burn_in / gibbs_samples: Schedule of the throwaway chain in
+            Gibbs mode.
+        parallel: Evaluate candidate gains on the snapshot-isolated
+            executor: every candidate reads a read-only
+            :class:`~repro.guidance.gain.HypotheticalView` of the
+            database state and draws from its own derived generator, so
+            candidates run concurrently in *both* inference modes with
+            results bit-for-bit identical to sequential evaluation at
+            every worker count.  In Gibbs mode the executor also routes
+            the throwaway chains through worker-local engines backed by
+            the compiled merge kernel of the sharded backend, which is
+            why ``parallel=True`` pays off even on a single core.
+        max_workers: Worker-thread count when ``parallel`` is set.
+        cache_gains: Keep evaluated gains across calls and re-evaluate a
+            candidate only when its connected component was dirtied by a
+            label (or the model weights changed) since the cached value
+            was computed.  Off by default: the cache assumes the
+            inference state between calls moves only through labels and
+            weight updates.
+    """
+
+    inference_mode: str = "meanfield"
+    entropy_method: str = "approx"
+    localize: bool = True
+    meanfield_steps: int = 3
+    damping: float = 0.3
+    gibbs_burn_in: int = 3
+    gibbs_samples: int = 8
+    parallel: bool = False
+    max_workers: int = 4
+    cache_gains: bool = False
+
+    def __post_init__(self) -> None:
+        if self.inference_mode not in INFERENCE_MODES:
+            raise GuidanceError(
+                f"inference_mode must be one of {INFERENCE_MODES}, "
+                f"got {self.inference_mode!r}"
+            )
+        if self.entropy_method not in ENTROPY_METHODS:
+            raise GuidanceError(
+                f"entropy_method must be one of {ENTROPY_METHODS}, "
+                f"got {self.entropy_method!r}"
+            )
+        if not 0.0 <= self.damping < 1.0:
+            raise GuidanceError(f"damping must be in [0, 1), got {self.damping}")
+        if self.meanfield_steps <= 0:
+            raise GuidanceError("meanfield_steps must be positive")
+        if self.gibbs_burn_in <= 0:
+            raise GuidanceError(
+                f"gibbs_burn_in must be positive, got {self.gibbs_burn_in}"
+            )
+        if self.gibbs_samples <= 0:
+            raise GuidanceError(
+                f"gibbs_samples must be positive, got {self.gibbs_samples}"
+            )
+        if self.max_workers < 1:
+            raise GuidanceError(
+                f"max_workers must be at least 1, got {self.max_workers}"
+            )

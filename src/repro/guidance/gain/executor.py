@@ -1,0 +1,133 @@
+"""Snapshot-isolated parallel execution of candidate gain evaluations.
+
+Three small pieces make §5.1's "gains of different candidates are
+independent" actually exploitable:
+
+* :class:`BaselineCache` — a guarded per-component cache of the label-free
+  baseline marginals.  The legacy implementation stashed a plain dict on
+  the estimator and filled it without coordination, so two workers hitting
+  the same component both ran the (expensive) baseline inference and the
+  attribute itself raced across overlapping calls.  Here the cache is an
+  explicit argument and the fill is guarded per key: exactly one thread
+  computes a component's baseline, the rest block on it.
+* :class:`EnginePool` — worker-local inference engines.  The sharded
+  backend's compiled merge kernel releases the GIL for the whole sweep,
+  but an engine instance holds a single-slot free-set gather cache, so
+  concurrent sweeps through one engine would thrash it.  The pool hands
+  every worker its own in-process ``ShardedEngine`` (``num_shards=1`` —
+  kernel, no fork pool), constructed directly rather than through the
+  memoising :func:`~repro.inference.engine.create_engine`.
+* :func:`map_ordered` — a results-in-input-order thread map.  Ordering of
+  the output array is the only scheduling constraint; the per-candidate
+  RNG streams are pure functions of ``(entropy, candidate, value)``, so
+  any execution order produces bit-identical gains.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Sequence, TypeVar
+
+import numpy as np
+
+from repro.crf.model import CrfModel
+from repro.inference.engine.base import EngineConfig
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class BaselineCache:
+    """Per-key once-only computation of baseline marginals.
+
+    One instance lives for exactly one batched-gains call and is passed
+    explicitly to every worker — there is no shared estimator attribute
+    to race on, and the per-key lock guarantees a baseline is computed
+    once no matter how many candidates of the component arrive at once.
+    """
+
+    #: Call-scoped scratch structure, never checkpointed.
+    _STATE_EXCLUDED = ("_lock", "_results", "_key_locks")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._results: Dict[int, np.ndarray] = {}
+        self._key_locks: Dict[int, threading.Lock] = {}
+
+    def get_or_compute(
+        self, key: int, compute: Callable[[], np.ndarray]
+    ) -> np.ndarray:
+        """Return the cached value for ``key``, computing it at most once."""
+        with self._lock:
+            if key in self._results:
+                return self._results[key]
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            with self._lock:
+                if key in self._results:
+                    return self._results[key]
+            value = compute()
+            with self._lock:
+                self._results[key] = value
+            return value
+
+
+class EnginePool:
+    """Lazily grown pool of worker-local single-shard engines.
+
+    Engines are created on demand up to the worker count and reused across
+    batched-gains calls; :meth:`close` releases them all.  Constructed
+    directly (not via ``create_engine``) so each lease holds a private
+    gather cache — the memoised per-model engine would be shared.
+    """
+
+    #: Process-local runtime resources, never part of a checkpoint.
+    _STATE_EXCLUDED = ("_model", "_lock", "_idle")
+
+    def __init__(self, model: CrfModel) -> None:
+        self._model = model
+        self._lock = threading.Lock()
+        self._idle: List[object] = []
+
+    def _build_engine(self):
+        from repro.inference.engine.sharded import ShardedEngine
+
+        return ShardedEngine(
+            self._model, EngineConfig(backend="sharded", num_shards=1)
+        )
+
+    @contextmanager
+    def lease(self) -> Iterator[object]:
+        """Borrow an engine for the duration of the ``with`` block."""
+        with self._lock:
+            engine = self._idle.pop() if self._idle else self._build_engine()
+        try:
+            yield engine
+        finally:
+            with self._lock:
+                self._idle.append(engine)
+
+    def close(self) -> None:
+        """Release every pooled engine; the pool stays usable (lazy)."""
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for engine in idle:
+            engine.close()  # type: ignore[attr-defined]
+
+
+def map_ordered(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    max_workers: int,
+) -> List[R]:
+    """Apply ``fn`` over ``items`` on a thread pool, results in input order.
+
+    Falls back to a plain loop for a single worker or a single item —
+    same results either way, the streams are schedule-independent.
+    """
+    if max_workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(fn, items))

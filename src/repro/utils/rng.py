@@ -49,6 +49,32 @@ def derive_rng(rng: np.random.Generator, stream: int = 0) -> np.random.Generator
     return np.random.default_rng(seed_seq)  # repro-lint: disable=DET002
 
 
+def draw_entropy(rng: np.random.Generator) -> int:
+    """Consume one draw from ``rng`` and return it as raw entropy.
+
+    Pairs with :func:`stream_rng`: drawing the entropy once and deriving
+    every child stream from it makes the children pure functions of
+    ``(entropy, key)`` — unlike :func:`derive_rng`, which consumes the
+    parent per derivation and therefore ties each child to the *order*
+    of derivations.  Parallel gain evaluation uses this to give every
+    candidate a schedule-independent generator.
+    """
+    return int(rng.integers(0, 2**63 - 1))
+
+
+def stream_rng(entropy: int, *key: int) -> np.random.Generator:
+    """Independent generator for stream ``key`` of an entropy value.
+
+    A pure function of its arguments: the same ``(entropy, key)`` yields
+    the same bit stream no matter which thread, process, or evaluation
+    order asks for it.  Key components must be non-negative.
+    """
+    seed_seq = np.random.SeedSequence(  # repro-lint: disable=DET002
+        entropy=int(entropy), spawn_key=tuple(int(part) for part in key)
+    )
+    return np.random.default_rng(seed_seq)  # repro-lint: disable=DET002
+
+
 def rng_state(rng: np.random.Generator) -> dict:
     """Serialise a generator's exact position in its bit stream.
 

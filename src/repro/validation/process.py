@@ -179,6 +179,15 @@ class ValidationProcess:
         self._validations_since_check = 0
         self.robustness_stats = RobustnessStats()
 
+    def close(self) -> None:
+        """Release process-level resources held by gain evaluation.
+
+        The estimator's pooled worker engines are the only OS-level
+        resources the process owns directly; everything stays usable
+        afterwards (pools rebuild lazily on the next parallel call).
+        """
+        self.gains.close()
+
     # ------------------------------------------------------------------
     # Declarative construction and checkpoint state
     # ------------------------------------------------------------------

@@ -64,6 +64,18 @@ class TestGainConfig:
         with pytest.raises(GuidanceError):
             GainConfig(meanfield_steps=0)
 
+    def test_invalid_gibbs_burn_in(self):
+        with pytest.raises(GuidanceError):
+            GainConfig(gibbs_burn_in=0)
+
+    def test_invalid_gibbs_samples(self):
+        with pytest.raises(GuidanceError):
+            GainConfig(gibbs_samples=-1)
+
+    def test_invalid_max_workers(self):
+        with pytest.raises(GuidanceError):
+            GainConfig(max_workers=0)
+
 
 class TestGainEstimator:
     def test_labelled_claim_has_zero_gain(self):

@@ -278,26 +278,37 @@ class TestLifecycle:
         engine.close()
 
 
-class TestGainParallelWarning:
-    def test_gibbs_parallel_warns(self):
-        from repro.guidance.gain import GainConfig, GainEstimator
-
-        model = CrfModel(build_micro_database())
-        with pytest.warns(RuntimeWarning, match="no effect in Gibbs mode"):
-            GainEstimator(
-                model,
-                config=GainConfig(inference_mode="gibbs", parallel=True),
-            )
-
-    def test_meanfield_parallel_does_not_warn(self):
+class TestGainParallelConstruction:
+    def test_parallel_does_not_warn_in_either_mode(self):
+        # Gibbs-mode parallel gain evaluation used to be a no-op behind a
+        # RuntimeWarning; the snapshot-isolated executor made it real, so
+        # construction must be silent for every mode.
         import warnings as warnings_module
 
         from repro.guidance.gain import GainConfig, GainEstimator
 
-        model = CrfModel(build_micro_database())
-        with warnings_module.catch_warnings():
-            warnings_module.simplefilter("error")
-            GainEstimator(
-                model,
-                config=GainConfig(inference_mode="meanfield", parallel=True),
-            )
+        for mode in ("meanfield", "gibbs"):
+            model = CrfModel(build_micro_database())
+            with warnings_module.catch_warnings():
+                warnings_module.simplefilter("error")
+                GainEstimator(
+                    model,
+                    config=GainConfig(inference_mode=mode, parallel=True),
+                )
+
+    def test_parallel_gibbs_leases_sharded_worker_engines(self):
+        from repro.guidance.gain import GainConfig, GainEstimator
+
+        database = build_micro_database()
+        model = CrfModel(database)
+        estimator = GainEstimator(
+            model,
+            config=GainConfig(inference_mode="gibbs", parallel=True),
+            seed=3,
+        )
+        estimator.information_gains(list(range(database.num_claims)))
+        with estimator._engine_pool.lease() as engine:
+            assert isinstance(engine, ShardedEngine)
+            assert engine._num_shards == 1
+        estimator.close()
+        assert estimator._engine_pool._idle == []
